@@ -1,0 +1,16 @@
+"""Ablation — non-blocking epoch protocol (Alg. 3) vs stall-the-world actuation."""
+
+from conftest import run_report
+
+from repro.bench.experiments import ablation_blocking
+
+
+def test_ablation_blocking(benchmark):
+    report = run_report(benchmark, ablation_blocking, scale=0.4, machines=16, seed=1)
+    by_mode = {row["actuation"]: row for row in report.rows}
+    # The non-blocking protocol never loses to the blocking one on completion
+    # time (modest tolerance for simulation noise).
+    assert (
+        by_mode["non-blocking"]["execution_time"]
+        <= 1.1 * by_mode["blocking"]["execution_time"]
+    )

@@ -1,0 +1,16 @@
+"""Ablation — the ε optimality/communication trade-off of Theorem 4.2."""
+
+from conftest import run_report
+
+from repro.bench.experiments import ablation_epsilon
+
+
+def test_ablation_epsilon(benchmark):
+    report = run_report(
+        benchmark, ablation_epsilon, scale=0.4, machines=16, seed=1, epsilons=(0.25, 0.5, 1.0)
+    )
+    by_epsilon = {row["epsilon"]: row for row in report.rows}
+    # Smaller ε adapts at least as often (more or equal migrations).
+    assert by_epsilon[0.25]["migrations"] >= by_epsilon[1.0]["migrations"]
+    # The theoretical ratio bound tightens as ε shrinks.
+    assert by_epsilon[0.25]["ratio_bound"] < by_epsilon[1.0]["ratio_bound"]

@@ -1,0 +1,15 @@
+"""Ablation — locality-aware (dyadic) vs naive (row-major) state relocation."""
+
+from conftest import run_report
+
+from repro.bench.experiments import ablation_migration_strategy
+
+
+def test_ablation_migration_strategy(benchmark):
+    report = run_report(benchmark, ablation_migration_strategy, scale=0.4, machines=16, seed=1)
+    by_layout = {row["layout"]: row for row in report.rows}
+    if by_layout["dyadic"]["migrations"] and by_layout["row_major"]["migrations"]:
+        assert (
+            by_layout["dyadic"]["migration_volume"]
+            <= by_layout["row_major"]["migration_volume"]
+        )

@@ -1,0 +1,15 @@
+"""Fig. 6a — EQ5 input-load factor growth per operator."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig6a_ilf_growth
+
+
+def test_fig6a_ilf_growth(benchmark):
+    report = run_report(benchmark, fig6a_ilf_growth, scale=0.4, machines=16, seed=1, skew="Z4")
+    ilf = {row["operator"]: row["final_max_ilf"] for row in report.rows}
+    # Paper's shape: SHJ and StaticMid grow much faster than Dynamic, which
+    # tracks StaticOpt.
+    assert ilf["StaticMid"] > 1.5 * ilf["Dynamic"]
+    assert ilf["SHJ"] > ilf["Dynamic"]
+    assert ilf["Dynamic"] < 2.5 * ilf["StaticOpt"]

@@ -1,0 +1,18 @@
+"""Fig. 6c — EQ5 execution-time progress per operator."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig6c_execution_progress
+
+
+def test_fig6c_execution_progress(benchmark):
+    report = run_report(
+        benchmark, fig6c_execution_progress, scale=0.4, machines=16, seed=1, skew="Z4"
+    )
+    total = {row["operator"]: row["total_execution_time"] for row in report.rows}
+    assert total["StaticOpt"] <= total["Dynamic"] <= total["StaticMid"]
+    # Execution time grows roughly linearly with the fraction processed.
+    series = report.series["Dynamic"]
+    half_index = len(series) // 2
+    if half_index:
+        assert series[half_index][1] <= series[-1][1]

@@ -1,0 +1,19 @@
+"""Fig. 6d — total execution time for every query and operator."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig6d_total_execution_time
+
+
+def test_fig6d_total_execution_time(benchmark):
+    report = run_report(benchmark, fig6d_total_execution_time, scale=0.4, machines=16, seed=1)
+    by_key = {(row["query"], row["operator"]): row["execution_time"] for row in report.rows}
+    for query in ("EQ5", "EQ7", "BNCI"):
+        assert by_key[(query, "Dynamic")] <= by_key[(query, "StaticMid")]
+        assert by_key[(query, "Dynamic")] <= 2.0 * by_key[(query, "StaticOpt")]
+    # BCI is computation-intensive: the gap between operators narrows (paper:
+    # "this performance gap is not large when the join is computationally
+    # intensive").
+    bci_gap = by_key[("BCI", "StaticMid")] / by_key[("BCI", "Dynamic")]
+    eq5_gap = by_key[("EQ5", "StaticMid")] / by_key[("EQ5", "Dynamic")]
+    assert bci_gap <= eq5_gap

@@ -1,0 +1,17 @@
+"""Fig. 7a — average operator throughput for every query and operator."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig7a_throughput
+
+
+def test_fig7a_throughput(benchmark):
+    report = run_report(benchmark, fig7a_throughput, scale=0.4, machines=16, seed=1)
+    by_key = {(row["query"], row["operator"]): row["throughput"] for row in report.rows}
+    for query in ("EQ5", "EQ7"):
+        # Dynamic and StaticOpt are close; both clearly beat StaticMid and SHJ
+        # (which suffers under the Z4 skew used for the equi-joins).
+        assert by_key[(query, "Dynamic")] > by_key[(query, "StaticMid")]
+        assert by_key[(query, "Dynamic")] > by_key[(query, "SHJ")]
+        assert by_key[(query, "Dynamic")] >= 0.4 * by_key[(query, "StaticOpt")]
+    assert by_key[("BNCI", "Dynamic")] > by_key[("BNCI", "StaticMid")]

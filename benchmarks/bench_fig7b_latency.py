@@ -1,0 +1,16 @@
+"""Fig. 7b — average tuple latency for every query and operator."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig7b_latency
+
+
+def test_fig7b_latency(benchmark):
+    report = run_report(benchmark, fig7b_latency, scale=0.3, machines=16, seed=1)
+    by_key = {(row["query"], row["operator"]): row["avg_latency"] for row in report.rows}
+    for query in ("EQ5", "EQ7", "BNCI"):
+        dynamic = by_key[(query, "Dynamic")]
+        static_mid = by_key[(query, "StaticMid")]
+        # Adaptivity does not blow up latency: Dynamic stays within the same
+        # order of magnitude as the static operators (paper: +5..20 ms).
+        assert dynamic <= 3.0 * max(static_mid, 1e-9) + 5.0

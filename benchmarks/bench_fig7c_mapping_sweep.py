@@ -1,0 +1,16 @@
+"""Fig. 7c — final ILF and storage as the optimal mapping approaches (√J, √J)."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig7cd_mapping_sweep
+
+
+def test_fig7c_mapping_sweep_ilf(benchmark):
+    report = run_report(benchmark, fig7cd_mapping_sweep, scale=0.4, machines=16, seed=1)
+    by_key = {(row["optimal_mapping"], row["operator"]): row for row in report.rows}
+    # When the optimal mapping is far from square, StaticMid pays a large ILF
+    # premium; when it is the square mapping, the gap (nearly) disappears.
+    far = by_key[("(1,16)", "StaticMid")]["max_ilf"] / by_key[("(1,16)", "Dynamic")]["max_ilf"]
+    near = by_key[("(4,4)", "StaticMid")]["max_ilf"] / by_key[("(4,4)", "Dynamic")]["max_ilf"]
+    assert far > near
+    assert near <= 1.3

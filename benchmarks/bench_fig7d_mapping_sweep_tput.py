@@ -1,0 +1,23 @@
+"""Fig. 7d — throughput as the optimal mapping approaches (√J, √J)."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig7cd_mapping_sweep
+
+
+def test_fig7d_mapping_sweep_throughput(benchmark):
+    report = run_report(benchmark, fig7cd_mapping_sweep, scale=0.4, machines=16, seed=2)
+    by_key = {(row["optimal_mapping"], row["operator"]): row for row in report.rows}
+    # Throughput gap between Dynamic and StaticMid shrinks as the optimal
+    # mapping approaches the square scheme.
+    far_gap = (
+        by_key[("(1,16)", "Dynamic")]["throughput"]
+        / by_key[("(1,16)", "StaticMid")]["throughput"]
+    )
+    near_gap = (
+        by_key[("(4,4)", "Dynamic")]["throughput"]
+        / by_key[("(4,4)", "StaticMid")]["throughput"]
+    )
+    assert far_gap > near_gap
+    # At the square point Dynamic performs like StaticMid (slight adaptivity cost allowed).
+    assert near_gap > 0.7

@@ -1,0 +1,23 @@
+"""Fig. 8a — weak scalability: execution time as data and machines double (in-memory)."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig8ab_weak_scaling
+
+
+def test_fig8a_weak_scaling_time(benchmark):
+    report = run_report(
+        benchmark,
+        fig8ab_weak_scaling,
+        base_scale=0.2,
+        base_machines=8,
+        steps=3,
+        seed=1,
+        queries=("EQ5", "EQ7", "BNCI"),
+    )
+    for query in ("EQ5", "EQ7"):
+        times = [row["execution_time"] for row in report.rows if row["query"] == query]
+        # Near-ideal weak scaling: execution time grows far slower than the 2x
+        # per step that a non-scalable operator would show (ILF replication of
+        # the smaller relation prevents perfection, as §5.3 explains).
+        assert times[-1] <= 2.0 * times[0]

@@ -1,0 +1,27 @@
+"""Fig. 8a (bottom) — weak scalability with out-of-core (spilling) computation."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig8ab_weak_scaling
+
+
+def test_fig8a_weak_scaling_out_of_core(benchmark):
+    in_memory = fig8ab_weak_scaling(
+        base_scale=0.2, base_machines=8, steps=2, seed=1, queries=("EQ5",), out_of_core=False
+    )
+    report = run_report(
+        benchmark,
+        fig8ab_weak_scaling,
+        base_scale=0.2,
+        base_machines=8,
+        steps=2,
+        seed=1,
+        queries=("EQ5",),
+        out_of_core=True,
+    )
+    # Out-of-core runs spill and are substantially slower than in-memory runs
+    # of the same configuration (paper: "performance drops by an order of
+    # magnitude"), while still scaling.
+    assert all(row["spilled"] for row in report.rows)
+    for memory_row, spill_row in zip(in_memory.rows, report.rows):
+        assert spill_row["execution_time"] > 1.5 * memory_row["execution_time"]

@@ -1,0 +1,22 @@
+"""Fig. 8b — weak scalability: throughput as data and machines double."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig8ab_weak_scaling
+
+
+def test_fig8b_weak_scaling_throughput(benchmark):
+    report = run_report(
+        benchmark,
+        fig8ab_weak_scaling,
+        base_scale=0.2,
+        base_machines=8,
+        steps=3,
+        seed=1,
+        queries=("EQ5", "EQ7"),
+    )
+    for query in ("EQ5", "EQ7"):
+        throughputs = [row["throughput"] for row in report.rows if row["query"] == query]
+        # Aggregate throughput grows with the cluster (ideally 2x per step;
+        # ILF growth makes it slightly less).
+        assert throughputs[-1] > 1.5 * throughputs[0]

@@ -1,0 +1,25 @@
+"""Fig. 8c — ILF/ILF* competitive ratio under fluctuating arrival ratios."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig8cd_fluctuations
+
+
+def test_fig8c_competitive_ratio(benchmark):
+    report = run_report(
+        benchmark,
+        fig8cd_fluctuations,
+        scale=0.4,
+        machines=16,
+        seed=1,
+        fluctuation_factors=(2, 4, 8),
+    )
+    for row in report.rows:
+        # The observed ILF/ILF* stays close to the proven 1.25 bound even under
+        # severe fluctuations (small slack for the sampled statistics and the
+        # propagation window during migrations).
+        assert row["max_ILF_over_ILF*"] <= 2.0 * row["theoretical_bound"]
+    # Larger fluctuation factors force the operator to adapt (migrations occur).
+    by_k = {row["fluctuation_k"]: row for row in report.rows}
+    assert by_k[8]["migrations"] >= by_k[2]["migrations"]
+    assert by_k[4]["migrations"] >= 1

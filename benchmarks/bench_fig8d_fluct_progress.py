@@ -1,0 +1,23 @@
+"""Fig. 8d — execution-time progress under fluctuating arrival ratios."""
+
+from conftest import run_report
+
+from repro.bench.experiments import fig8cd_fluctuations
+
+
+def test_fig8d_fluctuation_progress(benchmark):
+    report = run_report(
+        benchmark,
+        fig8cd_fluctuations,
+        scale=0.4,
+        machines=16,
+        seed=3,
+        fluctuation_factors=(2, 4, 6, 8),
+    )
+    times = [row["execution_time"] for row in report.rows]
+    # Despite undergoing many migrations, progress stays roughly linear and the
+    # total execution time is insensitive to the fluctuation factor (amortised
+    # migration cost, Lemma 4.5): no run is more than ~2x another.
+    assert max(times) <= 2.0 * min(times)
+    progress_keys = [key for key in report.series if key.startswith("k=")]
+    assert len(progress_keys) >= 4

@@ -1,0 +1,28 @@
+"""Table 2 — skew resilience: runtime of SHJ / Dynamic / StaticMid under Z0–Z4."""
+
+from conftest import run_report
+
+from repro.bench.experiments import table2_skew_resilience
+
+
+def test_table2_skew_resilience(benchmark):
+    report = run_report(
+        benchmark,
+        table2_skew_resilience,
+        scale=0.4,
+        machines=16,
+        seed=1,
+        skews=["Z0", "Z2", "Z4"],
+        queries=["EQ5", "EQ7"],
+    )
+
+    def runtime(row, column):
+        return float(str(row[column]).rstrip("*"))
+
+    uniform, _, skewed = report.rows
+    # Paper's shape: without skew SHJ is competitive; under heavy skew SHJ
+    # degrades severely while Dynamic stays flat.
+    assert runtime(skewed, "EQ5/SHJ") > 1.5 * runtime(skewed, "EQ5/Dynamic")
+    assert runtime(skewed, "EQ5/Dynamic") < 2.0 * runtime(uniform, "EQ5/Dynamic")
+    # StaticMid is consistently worse than Dynamic for these asymmetric joins.
+    assert runtime(skewed, "EQ5/StaticMid") > runtime(skewed, "EQ5/Dynamic")

@@ -1,0 +1,61 @@
+"""Quickstart: run the adaptive online join operator on a skewed TPC-H-like workload.
+
+This reproduces, at laptop scale, the headline comparison of the paper: the
+adaptive operator (Dynamic) against the static square-grid operator
+(StaticMid), the omniscient static operator (StaticOpt) and the
+content-sensitive parallel symmetric hash join (SHJ) on the EQ5 equi-join
+under heavy key skew.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    AdaptiveJoinOperator,
+    StaticMidOperator,
+    StaticOptOperator,
+    SymmetricHashOperator,
+    generate_dataset,
+    make_query,
+)
+
+
+def main() -> None:
+    # 1. Generate a skewed dataset (Z4 = Zipf parameter 1.0) and build EQ5:
+    #    (REGION ⋈ NATION ⋈ SUPPLIER) ⋈ LINEITEM on suppkey.
+    dataset = generate_dataset(scale=0.5, skew="Z4", seed=7)
+    query = make_query("EQ5", dataset)
+    print(query.summary())
+    print()
+
+    machines = 16
+    operators = [
+        SymmetricHashOperator(query, machines, seed=7),
+        StaticMidOperator(query, machines, seed=7),
+        AdaptiveJoinOperator(query, machines, seed=7),
+        StaticOptOperator(query, machines, seed=7),
+    ]
+
+    # 2. Run each operator on the same input stream inside the simulated
+    #    shared-nothing cluster and compare the metrics the paper reports.
+    header = f"{'operator':<12} {'exec time':>10} {'throughput':>11} {'max ILF':>9} {'storage':>9} {'migrations':>11} {'mapping':>9}"
+    print(header)
+    print("-" * len(header))
+    for operator in operators:
+        result = operator.run()
+        print(
+            f"{result.operator:<12} {result.execution_time:>10.1f} {result.throughput:>11.2f} "
+            f"{result.max_ilf:>9.1f} {result.total_storage:>9.1f} {result.migrations:>11d} "
+            f"{str(result.final_mapping):>9}"
+        )
+
+    print()
+    print(
+        "Expected shape (cf. Table 2 / Fig. 6): Dynamic tracks StaticOpt, both "
+        "clearly beat StaticMid, and SHJ collapses under skew."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured through ``pyproject.toml``; this file only exists so
+that environments without the ``wheel`` package (offline machines where PEP
+517 editable builds cannot produce a wheel) can still do a development
+install with ``python setup.py develop`` or ``pip install -e . --no-build-isolation``.
+"""
+
+from setuptools import setup
+
+setup()

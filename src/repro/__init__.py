@@ -1,0 +1,76 @@
+"""repro — reproduction of "Scalable and Adaptive Online Joins" (VLDB 2014).
+
+The package implements the paper's adaptive, skew-resilient online theta-join
+dataflow operator together with every substrate its evaluation depends on:
+
+* :mod:`repro.core`    — the operator (mapping schemes, controller, migration,
+  epoch protocol) and the static/SHJ baselines,
+* :mod:`repro.engine`  — a deterministic discrete-event simulation of a
+  shared-nothing cluster (the Storm/Squall stand-in),
+* :mod:`repro.joins`   — local non-blocking join algorithms and predicates,
+* :mod:`repro.storage` — in-memory + spill stores (the BerkeleyDB stand-in),
+* :mod:`repro.data`    — TPC-H-like generation with Zipf skew and the
+  evaluation queries,
+* :mod:`repro.bench`   — the experiment harness regenerating every table and
+  figure of §5.
+
+Quickstart::
+
+    from repro import AdaptiveJoinOperator, generate_dataset, make_query
+
+    dataset = generate_dataset(scale=0.5, skew="Z4", seed=7)
+    query = make_query("EQ5", dataset)
+    result = AdaptiveJoinOperator(query, machines=16, seed=7).run()
+    print(result.summary_row())
+"""
+
+from repro.core import (
+    AdaptiveJoinOperator,
+    GridJoinOperator,
+    JoinMatrix,
+    Mapping,
+    MigrationController,
+    RunResult,
+    StaticMidOperator,
+    StaticOptOperator,
+    SymmetricHashOperator,
+    make_operator,
+    optimal_mapping,
+    square_mapping,
+)
+from repro.data import JoinQuery, TpchDataset, generate_dataset, make_query
+from repro.engine import CostModel, Simulator
+from repro.joins import (
+    BandPredicate,
+    EquiPredicate,
+    JoinPredicate,
+    ThetaPredicate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveJoinOperator",
+    "BandPredicate",
+    "CostModel",
+    "EquiPredicate",
+    "GridJoinOperator",
+    "JoinMatrix",
+    "JoinPredicate",
+    "JoinQuery",
+    "Mapping",
+    "MigrationController",
+    "RunResult",
+    "Simulator",
+    "StaticMidOperator",
+    "StaticOptOperator",
+    "SymmetricHashOperator",
+    "ThetaPredicate",
+    "TpchDataset",
+    "generate_dataset",
+    "make_operator",
+    "make_query",
+    "optimal_mapping",
+    "square_mapping",
+    "__version__",
+]

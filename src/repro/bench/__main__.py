@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` — run the experiment drivers from the command line."""
+
+from repro.bench.cli import main
+
+main()

@@ -1,0 +1,99 @@
+"""Workload × operator execution harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.baselines import make_operator
+from repro.core.results import RunResult
+from repro.data.queries import JoinQuery, make_query
+from repro.data.tpch import generate_dataset
+from repro.engine.machine import CostModel
+
+
+@dataclass
+class ExperimentConfig:
+    """Shared knobs of one experiment run.
+
+    Attributes:
+        machines: number of joiners.
+        scale: dataset scale factor (1.0 ≈ the paper's 10 GB dataset shrunk).
+        skew: Zipf parameter or label ("Z0".."Z4").
+        seed: base seed for data generation and simulation.
+        memory_capacity: per-machine storage budget (None = unbounded);
+            finite values reproduce the disk-spill behaviour of Table 2.
+        cost_model: optional cost-model override.
+        inter_arrival: source pacing (0 = joiners fully utilised).
+    """
+
+    machines: int = 16
+    scale: float = 0.5
+    skew: float | str = 0.0
+    seed: int = 1
+    memory_capacity: float | None = None
+    cost_model: CostModel | None = None
+    inter_arrival: float = 0.0
+    operator_kwargs: dict = field(default_factory=dict)
+
+
+def build_query(name: str, config: ExperimentConfig) -> JoinQuery:
+    """Generate the dataset and build query ``name`` for ``config``."""
+    dataset = generate_dataset(scale=config.scale, skew=config.skew, seed=config.seed)
+    return make_query(name, dataset)
+
+
+def run_single(
+    operator_kind: str,
+    query: JoinQuery,
+    config: ExperimentConfig,
+    **run_kwargs,
+) -> RunResult:
+    """Run one operator on one query under ``config``."""
+    operator = make_operator(
+        operator_kind,
+        query,
+        config.machines,
+        cost_model=config.cost_model,
+        seed=config.seed,
+        memory_capacity=config.memory_capacity,
+        **config.operator_kwargs,
+    )
+    run_kwargs.setdefault("inter_arrival", config.inter_arrival)
+    return operator.run(**run_kwargs)
+
+
+def run_matrix(
+    operator_kinds: Sequence[str],
+    query_names: Sequence[str],
+    config: ExperimentConfig,
+    skews: Iterable[float | str] | None = None,
+    **run_kwargs,
+) -> list[RunResult]:
+    """Run the cross product operators × queries × skews.
+
+    SHJ is skipped automatically for non-equi queries (the paper's Table 2
+    and figures only report it where applicable).
+    """
+    results: list[RunResult] = []
+    skew_values = list(skews) if skews is not None else [config.skew]
+    for skew in skew_values:
+        local_config = ExperimentConfig(
+            machines=config.machines,
+            scale=config.scale,
+            skew=skew,
+            seed=config.seed,
+            memory_capacity=config.memory_capacity,
+            cost_model=config.cost_model,
+            inter_arrival=config.inter_arrival,
+            operator_kwargs=dict(config.operator_kwargs),
+        )
+        for query_name in query_names:
+            query = build_query(query_name, local_config)
+            for operator_kind in operator_kinds:
+                if operator_kind == "SHJ" and query.predicate.kind != "equi":
+                    continue
+                result = run_single(operator_kind, query, local_config, **run_kwargs)
+                result.query = f"{query_name}@{skew}" if len(skew_values) > 1 else query_name
+                results.append(result)
+    return results

@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results (tables and figure series)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` (dicts) as an aligned plain-text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[column] for column in columns))
+    for row in rows:
+        lines.append(
+            " | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Iterable[tuple[float, float]]],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    max_points: int = 12,
+) -> str:
+    """Render named (x, y) series as a compact plain-text listing.
+
+    Long series are downsampled to at most ``max_points`` evenly spaced
+    points so that benchmark output stays readable.
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label} -> {y_label}")
+    for name, points in series.items():
+        points = list(points)
+        if len(points) > max_points:
+            step = max(1, len(points) // max_points)
+            points = points[::step] + points[-1:]
+        rendered = ", ".join(f"({x:.3g}, {y:.4g})" for x, y in points)
+        lines.append(f"  {name}: {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Core: the adaptive online theta-join operator and its building blocks.
+
+The sub-modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.join_matrix` / :mod:`repro.core.mapping` — §3 (join-matrix
+  model, grid-layout partitioning, input-load factor).
+* :mod:`repro.core.statistics` — §4.1 (decentralised statistics, Alg. 1).
+* :mod:`repro.core.decision` — §4.2.1 (migration decision, Alg. 2, Thm 4.1/4.2).
+* :mod:`repro.core.migration` — §4.2.1 (locality-aware migration, Fig. 3).
+* :mod:`repro.core.groups` / :mod:`repro.core.elasticity` — §4.2.2
+  (general J, elasticity, Fig. 4/5).
+* :mod:`repro.core.epochs` — §4.3.1 (eventually-consistent protocol, Alg. 3).
+* :mod:`repro.core.operator` / :mod:`repro.core.baselines` — §5's Dynamic,
+  StaticMid, StaticOpt and SHJ operators.
+"""
+
+from repro.core.baselines import (
+    StaticMidOperator,
+    StaticOptOperator,
+    SymmetricHashOperator,
+    make_operator,
+)
+from repro.core.decision import (
+    MigrationController,
+    amortized_cost_bound,
+    competitive_ratio_bound,
+    generalized_ratio_bound,
+)
+from repro.core.elasticity import ExpansionPolicy, plan_expansion
+from repro.core.epochs import EpochJoinerState, JoinerPhase, ProtocolError
+from repro.core.groups import GroupedCluster, power_of_two_decomposition
+from repro.core.join_matrix import JoinMatrix, OkcanSquareScheme, mapping_spectrum
+from repro.core.mapping import (
+    GridPlacement,
+    Mapping,
+    ilf_lower_bound,
+    optimal_mapping,
+    power_of_two_mappings,
+    square_mapping,
+)
+from repro.core.migration import MigrationPlan, plan_migration, plan_naive_migration
+from repro.core.operator import (
+    AdaptiveJoinOperator,
+    GridJoinOperator,
+    theoretical_optimal_mapping,
+)
+from repro.core.results import RunResult
+from repro.core.statistics import CardinalityEstimator
+
+__all__ = [
+    "AdaptiveJoinOperator",
+    "CardinalityEstimator",
+    "EpochJoinerState",
+    "ExpansionPolicy",
+    "GridJoinOperator",
+    "GridPlacement",
+    "GroupedCluster",
+    "JoinMatrix",
+    "JoinerPhase",
+    "Mapping",
+    "MigrationController",
+    "MigrationPlan",
+    "OkcanSquareScheme",
+    "ProtocolError",
+    "RunResult",
+    "StaticMidOperator",
+    "StaticOptOperator",
+    "SymmetricHashOperator",
+    "amortized_cost_bound",
+    "competitive_ratio_bound",
+    "generalized_ratio_bound",
+    "ilf_lower_bound",
+    "make_operator",
+    "mapping_spectrum",
+    "optimal_mapping",
+    "plan_expansion",
+    "plan_migration",
+    "plan_naive_migration",
+    "power_of_two_decomposition",
+    "power_of_two_mappings",
+    "square_mapping",
+    "theoretical_optimal_mapping",
+]

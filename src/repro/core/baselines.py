@@ -1,0 +1,80 @@
+"""The baseline operators of the evaluation (§5, "Operators").
+
+* **StaticMid** — a static operator with the fixed ``(√J, √J)`` mapping: the
+  best guess when nothing is known about the stream sizes.
+* **StaticOpt** — a static operator with the optimal mapping, which requires
+  oracle knowledge of the final stream sizes (unattainable online); Dynamic
+  is expected to track it closely.
+* **SHJ** — the parallel symmetric hash join: content-sensitive partitioning
+  on the join key, applicable to equi-joins only, efficient without skew but
+  crippled by skewed key distributions.
+"""
+
+from __future__ import annotations
+
+from repro.core.mapping import square_mapping
+from repro.core.operator import GridJoinOperator, theoretical_optimal_mapping
+from repro.core.tasks import HashReshufflerTask, ReshufflerTask
+from repro.data.queries import JoinQuery
+
+
+class StaticMidOperator(GridJoinOperator):
+    """Static operator with the fixed ``(√J, √J)`` mapping."""
+
+    operator_name = "StaticMid"
+
+    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+        kwargs.setdefault("adaptive", False)
+        kwargs.setdefault("initial_mapping", square_mapping(machines))
+        super().__init__(query, machines, **kwargs)
+
+
+class StaticOptOperator(GridJoinOperator):
+    """Static operator with the omniscient optimal mapping (oracle baseline)."""
+
+    operator_name = "StaticOpt"
+
+    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+        kwargs.setdefault("adaptive", False)
+        kwargs.setdefault("initial_mapping", theoretical_optimal_mapping(query, machines))
+        super().__init__(query, machines, **kwargs)
+
+
+class SymmetricHashOperator(GridJoinOperator):
+    """Parallel symmetric hash join (content-sensitive, equi-joins only)."""
+
+    operator_name = "SHJ"
+
+    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+        if query.predicate.kind != "equi":
+            raise ValueError(
+                f"the SHJ operator supports only equi-join predicates; "
+                f"{query.name} uses {query.predicate.describe()}"
+            )
+        kwargs.setdefault("adaptive", False)
+        super().__init__(query, machines, **kwargs)
+
+    def _reshuffler_class(self) -> type[ReshufflerTask]:
+        return HashReshufflerTask
+
+
+OPERATOR_CLASSES = {
+    "StaticMid": StaticMidOperator,
+    "StaticOpt": StaticOptOperator,
+    "SHJ": SymmetricHashOperator,
+}
+
+
+def make_operator(kind: str, query: JoinQuery, machines: int, **kwargs):
+    """Factory over every operator used by the evaluation, including Dynamic."""
+    from repro.core.operator import AdaptiveJoinOperator
+
+    registry = dict(OPERATOR_CLASSES)
+    registry["Dynamic"] = AdaptiveJoinOperator
+    try:
+        operator_class = registry[kind]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown operator {kind!r}; available: {', '.join(sorted(registry))}"
+        ) from exc
+    return operator_class(query, machines, **kwargs)

@@ -1,0 +1,139 @@
+"""Elastic expansion of the operator (§4.2.2, Fig. 5, Theorem 4.3).
+
+The query planner may not know in advance how many machines a join needs.
+The elasticity scheme starts the operator on few joiners and, at migration
+checkpoints, checks whether the per-joiner state exceeds half of a designated
+maximum ``M``; if so, every joiner is split into four joiners (both ``n`` and
+``m`` double), each original joiner shipping the appropriate quarters of its
+state to its three children.  The expansion costs at most twice the state a
+joiner held before expanding, keeping the amortised communication bound of
+``O(1/ε)`` per input tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.mapping import GridPlacement, Mapping
+from repro.core.migration import MigrationPlan, plan_migration
+
+
+@dataclass(frozen=True)
+class ExpansionPolicy:
+    """When and how far the operator may expand.
+
+    Attributes:
+        max_tuples_per_joiner: the designated maximum ``M`` of §4.2.2; an
+            expansion is triggered when per-joiner state exceeds ``M / 2`` at
+            a migration checkpoint.
+        max_machines: hard ceiling on the number of joiners (the size of the
+            physical cluster the simulation pre-allocates).
+        factor: expansion factor per step; the paper splits every joiner into
+            4 (doubling both n and m).
+    """
+
+    max_tuples_per_joiner: float
+    max_machines: int
+    factor: int = 4
+
+    def should_expand(self, per_joiner_state: float, current_machines: int) -> bool:
+        """Whether an expansion is warranted and possible."""
+        if current_machines * self.factor > self.max_machines:
+            return False
+        return per_joiner_state > self.max_tuples_per_joiner / 2.0
+
+
+@dataclass(frozen=True)
+class ExpansionStep:
+    """One planned expansion: the new placement and the state-relocation plan."""
+
+    old_placement: GridPlacement
+    new_placement: GridPlacement
+    plan: MigrationPlan
+    parent_of: dict[int, int]
+
+
+def expansion_mapping(mapping: Mapping, factor: int = 4) -> Mapping:
+    """The mapping after one expansion step (both dimensions double for factor 4)."""
+    if factor == 4:
+        return Mapping(mapping.n * 2, mapping.m * 2)
+    if factor == 2:
+        # Double the dimension that currently has fewer partitions.
+        if mapping.n <= mapping.m:
+            return Mapping(mapping.n * 2, mapping.m)
+        return Mapping(mapping.n, mapping.m * 2)
+    raise ValueError("expansion factor must be 2 or 4")
+
+
+def plan_expansion(
+    old_placement: GridPlacement,
+    new_machine_ids: list[int],
+    factor: int = 4,
+) -> ExpansionStep:
+    """Plan the expansion of ``old_placement`` onto ``factor×`` as many machines.
+
+    Args:
+        old_placement: the placement currently in force.
+        new_machine_ids: ids of the machines available after the expansion;
+            must contain every old machine plus ``(factor - 1) · J`` new ones.
+        factor: expansion factor (4 reproduces Fig. 5).
+
+    Returns:
+        An :class:`ExpansionStep` with the new placement, the locality-aware
+        relocation plan and the parent relationship used to route each new
+        joiner's state from the joiner it split off from.
+    """
+    old_ids = list(old_placement.machine_ids)
+    missing = [machine for machine in old_ids if machine not in set(new_machine_ids)]
+    if missing:
+        raise ValueError(f"expansion must keep all old machines; missing {missing}")
+    expected = len(old_ids) * factor
+    if len(new_machine_ids) != expected:
+        raise ValueError(
+            f"expansion by {factor} needs {expected} machines, got {len(new_machine_ids)}"
+        )
+
+    new_mapping = expansion_mapping(old_placement.mapping, factor)
+    fresh = [machine for machine in new_machine_ids if machine not in set(old_ids)]
+
+    # Build the new placement so that each old machine keeps a cell whose
+    # row/column ranges refine its old cell (it becomes one of its own
+    # children), and assign the remaining child cells to fresh machines.
+    ordered_ids: list[int | None] = [None] * (new_mapping.machines)
+    new_placement_tmp = GridPlacement(mapping=new_mapping, machine_ids=tuple(range(new_mapping.machines)))
+    parent_of: dict[int, int] = {}
+    fresh_iter = iter(fresh)
+
+    # Children cells of an old cell (row, col) under the doubled mapping.
+    def children(row: int, col: int) -> list[tuple[int, int]]:
+        rows = [row] if new_mapping.n == old_placement.mapping.n else [2 * row, 2 * row + 1]
+        cols = [col] if new_mapping.m == old_placement.mapping.m else [2 * col, 2 * col + 1]
+        return [(r, c) for r in rows for c in cols]
+
+    for old_machine, (row, col) in old_placement.cells():
+        child_cells = children(row, col)
+        # The old machine keeps the first child cell; fresh machines take the rest.
+        for index, (child_row, child_col) in enumerate(child_cells):
+            local = new_placement_tmp.local_at(child_row, child_col)
+            if index == 0:
+                ordered_ids[local] = old_machine
+            else:
+                fresh_machine = next(fresh_iter)
+                ordered_ids[local] = fresh_machine
+                parent_of[fresh_machine] = old_machine
+
+    if any(machine is None for machine in ordered_ids):
+        raise RuntimeError("expansion placement left unassigned cells")
+    new_placement = GridPlacement(mapping=new_mapping, machine_ids=tuple(ordered_ids))
+    plan = plan_migration(old_placement, new_placement, parent_of=parent_of)
+    return ExpansionStep(
+        old_placement=old_placement,
+        new_placement=new_placement,
+        plan=plan,
+        parent_of=parent_of,
+    )
+
+
+def expansion_cost_bound(stored_per_joiner: float) -> float:
+    """Theorem 4.3's bound: expansion ships at most twice a joiner's stored state."""
+    return 2.0 * stored_per_joiner

@@ -1,0 +1,336 @@
+"""The eventually-consistent, non-blocking migration protocol (§4.3.1, Alg. 3).
+
+System operation is divided into *epochs*: every mapping change opens a new
+epoch, reshufflers tag routed tuples with the latest epoch they know, and
+joiners keep processing tuples throughout the state relocation while
+reasoning about four tuple sets:
+
+* ``τ``  — tuples received before the migration decision (committed state),
+* ``Δ``  — tuples tagged with the old epoch that arrive during the migration,
+* ``Δ'`` — tuples tagged with the new epoch,
+* ``µ``  — tuples received from other joiners due to the migration.
+
+:class:`EpochJoinerState` implements the joiner side of Algorithm 3
+(HandleTuple1 / HandleTuple2 / FinalizeMigration) as an engine-independent
+state machine so that the protocol's correctness — the output after the
+migration equals ``(τ ∪ Δ ∪ Δ') ⋈ (τ ∪ Δ ∪ Δ')`` with no duplicates
+(Definition 4.4, Theorem 4.5) — can be tested in isolation and reused by the
+simulated joiner task.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.core.migration import MigrationPlan
+from repro.engine.stream import StreamTuple
+from repro.joins.local import LocalJoiner
+
+
+class ProtocolError(RuntimeError):
+    """Raised when a message violates the epoch protocol's guarantees."""
+
+
+class JoinerPhase(enum.Enum):
+    """Phase of a joiner with respect to the current migration."""
+
+    NORMAL = "normal"        # no migration in progress; HandleTuple1 degenerate path
+    MIGRATING = "migrating"  # some (not all) reshuffler signals received; HandleTuple1
+    DRAINED = "drained"      # all reshuffler signals received; HandleTuple2
+
+
+@dataclass
+class TupleActions:
+    """Everything a joiner task must do after the state machine handled a tuple.
+
+    Attributes:
+        matches: output pairs, already oriented ``(left_tuple, right_tuple)``.
+        probe_work: number of index candidates inspected (for CPU accounting).
+        stored: whether the incoming tuple was added to local state.
+        migrate_to: ``(destination_machine, tuple)`` relocations this joiner
+            must send because it is the designated sender.
+    """
+
+    matches: list[tuple[StreamTuple, StreamTuple]] = field(default_factory=list)
+    probe_work: float = 0.0
+    stored: bool = False
+    migrate_to: list[tuple[int, StreamTuple]] = field(default_factory=list)
+
+
+@dataclass
+class FinalizeResult:
+    """Result of FinalizeMigration: what was discarded, and the closed epoch."""
+
+    discarded: list[StreamTuple]
+    epoch: int
+
+
+# Tags for the tuple sets of Algorithm 3.
+_TAU = "tau"
+_DELTA = "delta"
+_DELTA_PRIME = "delta_prime"
+_MU = "mu"
+_OLD_TAGS = (_TAU, _DELTA)
+
+
+class EpochJoinerState:
+    """Algorithm 3 state machine for one joiner.
+
+    Args:
+        machine_id: id of the hosting machine (used to look itself up in
+            migration plans).
+        store: the local non-blocking join algorithm holding this joiner's
+            state for both relations.
+        num_reshufflers: number of reshuffler tasks; a migration's old epoch
+            is closed once signals from all of them arrived.
+        left_relation: relation treated as the "R" (row) side.
+    """
+
+    def __init__(
+        self,
+        machine_id: int,
+        store: LocalJoiner,
+        num_reshufflers: int,
+        left_relation: str,
+    ) -> None:
+        self.machine_id = machine_id
+        self.store = store
+        self.num_reshufflers = num_reshufflers
+        self.left_relation = left_relation
+
+        self.current_epoch = 0
+        self.phase = JoinerPhase.NORMAL
+        self.plan: MigrationPlan | None = None
+        self.pending_epoch: int | None = None
+
+        self._tags: dict[int, str] = {}
+        self._keep: dict[int, bool] = {}
+        self._signals: set[str] = set()
+        self._expected_senders: set[int] = set()
+        self._received_ends: set[int] = set()
+        self._early_messages: list[tuple[str, StreamTuple]] = []
+
+    # ------------------------------------------------------------------ util
+
+    def _side(self, item: StreamTuple) -> str:
+        return "R" if item.relation == self.left_relation else "S"
+
+    def _oriented(self, new_item: StreamTuple, stored_item: StreamTuple):
+        if new_item.relation == self.left_relation:
+            return new_item, stored_item
+        return stored_item, new_item
+
+    def _restrict(self, tags: tuple[str, ...], require_keep: bool = False):
+        def accept(stored_item: StreamTuple) -> bool:
+            tag = self._tags.get(stored_item.tuple_id)
+            if tag not in tags:
+                return False
+            if require_keep:
+                return self._keep.get(stored_item.tuple_id, True)
+            return True
+
+        return accept
+
+    def _join(
+        self,
+        item: StreamTuple,
+        actions: TupleActions,
+        tags: tuple[str, ...],
+        require_keep: bool = False,
+    ) -> None:
+        matches, work = self.store.probe(item, self._restrict(tags, require_keep))
+        actions.probe_work += work
+        actions.matches.extend(self._oriented(item, match) for match in matches)
+
+    def _store(self, item: StreamTuple, tag: str, keep: bool | None = None) -> None:
+        self.store.insert(item)
+        self._tags[item.tuple_id] = tag
+        if keep is not None:
+            self._keep[item.tuple_id] = keep
+
+    # -------------------------------------------------------------- counters
+
+    def stored_count(self) -> int:
+        """Number of tuples currently stored (including not-yet-discarded ones)."""
+        return len(self._tags)
+
+    def migration_in_progress(self) -> bool:
+        """Whether a migration is currently being executed."""
+        return self.phase is not JoinerPhase.NORMAL
+
+    # ------------------------------------------------------------ data tuples
+
+    def handle_data(self, item: StreamTuple) -> TupleActions:
+        """Handle a data tuple routed by a reshuffler (HandleTuple1/2 data paths)."""
+        actions = TupleActions()
+        if item.epoch > self.current_epoch and self.phase is JoinerPhase.NORMAL:
+            # The reshuffler learned about the new epoch before we received any
+            # signal; buffer until the first signal brings the migration plan.
+            self._early_messages.append(("data", item))
+            return actions
+
+        if self.phase is JoinerPhase.NORMAL:
+            if item.epoch != self.current_epoch:
+                raise ProtocolError(
+                    f"joiner {self.machine_id} in epoch {self.current_epoch} received a "
+                    f"tuple tagged with past epoch {item.epoch}"
+                )
+            # Normal operation: join with everything stored, then store as τ.
+            self._join(item, actions, (_TAU, _DELTA, _DELTA_PRIME, _MU))
+            self._store(item, _TAU)
+            actions.stored = True
+            return actions
+
+        if item.epoch == self.current_epoch:
+            if self.phase is JoinerPhase.DRAINED:
+                raise ProtocolError(
+                    f"joiner {self.machine_id} received an old-epoch tuple after all "
+                    "reshufflers signalled the epoch change"
+                )
+            return self._handle_delta(item, actions)
+        if item.epoch == self.pending_epoch:
+            return self._handle_delta_prime(item, actions)
+        raise ProtocolError(
+            f"joiner {self.machine_id} received epoch {item.epoch} while migrating "
+            f"from {self.current_epoch} to {self.pending_epoch}"
+        )
+
+    def _handle_delta(self, item: StreamTuple, actions: TupleActions) -> TupleActions:
+        """Old-epoch tuple during migration (Alg. 3 lines 15-20)."""
+        assert self.plan is not None
+        self._join(item, actions, _OLD_TAGS)
+        keep = self.plan.keeps(self.machine_id, self._side(item), item.salt)
+        self._store(item, _DELTA, keep=keep)
+        actions.stored = True
+        if keep:
+            self._join(item, actions, (_DELTA_PRIME,))
+        destinations = self.plan.destinations_for(self.machine_id, self._side(item), item.salt)
+        actions.migrate_to.extend((destination, item) for destination in destinations)
+        return actions
+
+    def _handle_delta_prime(self, item: StreamTuple, actions: TupleActions) -> TupleActions:
+        """New-epoch tuple during migration (Alg. 3 lines 12-14 and 24-26)."""
+        self._join(item, actions, (_MU, _DELTA_PRIME))
+        self._join(item, actions, _OLD_TAGS, require_keep=True)
+        self._store(item, _DELTA_PRIME)
+        actions.stored = True
+        return actions
+
+    # ------------------------------------------------------- migration tuples
+
+    def handle_migrated(self, item: StreamTuple) -> TupleActions:
+        """Handle a µ tuple relocated from another joiner (Alg. 3 lines 10-11, 22-23)."""
+        actions = TupleActions()
+        if self.phase is JoinerPhase.NORMAL:
+            self._early_messages.append(("migrated", item))
+            return actions
+        self._join(item, actions, (_DELTA_PRIME,))
+        self._store(item, _MU)
+        actions.stored = True
+        return actions
+
+    # ----------------------------------------------------------------- signals
+
+    def handle_signal(
+        self, epoch: int, plan: MigrationPlan, reshuffler: str
+    ) -> tuple[list[tuple[int, StreamTuple]], list[tuple[StreamTuple, TupleActions]]]:
+        """Handle an epoch-change signal from ``reshuffler``.
+
+        Returns ``(migrations, replayed)`` where ``migrations`` are the
+        ``(destination, tuple)`` relocations triggered by this signal (the τ
+        batch on the first signal) and ``replayed`` pairs each buffered early
+        message that can now be processed with its resulting actions.
+        """
+        if epoch == self.current_epoch:
+            return [], []
+        if self.pending_epoch is not None and epoch != self.pending_epoch:
+            raise ProtocolError(
+                f"joiner {self.machine_id} saw a signal for epoch {epoch} while still "
+                f"migrating to epoch {self.pending_epoch}; machines must be at most one "
+                "epoch behind the controller"
+            )
+
+        migrations: list[tuple[int, StreamTuple]] = []
+        replayed: list[tuple[StreamTuple, TupleActions]] = []
+        if self.pending_epoch is None:
+            # First signal: adopt the plan and ship the committed state τ.
+            # _signals and _received_ends are NOT cleared here: an end-of-
+            # migration marker from a fast sender may legitimately arrive
+            # before our first signal and must not be lost.
+            self.pending_epoch = epoch
+            self.plan = plan
+            self.phase = JoinerPhase.MIGRATING
+            self._expected_senders = plan.senders_to(self.machine_id)
+            migrations.extend(self._ship_tau())
+            replayed.extend(self._drain_early_messages())
+
+        self._signals.add(reshuffler)
+        if len(self._signals) >= self.num_reshufflers:
+            self.phase = JoinerPhase.DRAINED
+        return migrations, replayed
+
+    def _ship_tau(self) -> list[tuple[int, StreamTuple]]:
+        """Send τ for migration (Alg. 3 line 3) and pre-compute keep flags."""
+        assert self.plan is not None
+        migrations: list[tuple[int, StreamTuple]] = []
+        for item in list(self.store.stored(self.left_relation)) + list(
+            self.store.stored(self.store.opposite(self.left_relation))
+        ):
+            tag = self._tags.get(item.tuple_id)
+            if tag not in _OLD_TAGS:
+                continue
+            side = self._side(item)
+            self._keep[item.tuple_id] = self.plan.keeps(self.machine_id, side, item.salt)
+            for destination in self.plan.destinations_for(self.machine_id, side, item.salt):
+                migrations.append((destination, item))
+        return migrations
+
+    def _drain_early_messages(self) -> list[tuple[StreamTuple, TupleActions]]:
+        replayed = []
+        pending, self._early_messages = self._early_messages, []
+        for kind, item in pending:
+            if kind == "data":
+                replayed.append((item, self.handle_data(item)))
+            else:
+                replayed.append((item, self.handle_migrated(item)))
+        return replayed
+
+    # --------------------------------------------------------------- finalize
+
+    def register_migration_end(self, sender_machine: int) -> None:
+        """Record an end-of-migration marker from a designated sender."""
+        self._received_ends.add(sender_machine)
+
+    def can_finalize(self) -> bool:
+        """Whether the migration can be finalised (Alg. 3 "Migration Ended")."""
+        if self.phase is not JoinerPhase.DRAINED:
+            return False
+        return self._expected_senders.issubset(self._received_ends)
+
+    def finalize(self) -> FinalizeResult:
+        """FinalizeMigration (Alg. 3 lines 27-30): discard, merge sets, reset."""
+        if not self.can_finalize():
+            raise ProtocolError("finalize() called before the migration completed")
+        assert self.pending_epoch is not None
+        discarded = []
+        for relation in (self.left_relation, self.store.opposite(self.left_relation)):
+            for item in list(self.store.stored(relation)):
+                tag = self._tags.get(item.tuple_id)
+                if tag in _OLD_TAGS and not self._keep.get(item.tuple_id, True):
+                    self.store.remove(item)
+                    self._tags.pop(item.tuple_id, None)
+                    discarded.append(item)
+        # τ <- Keep(τ ∪ Δ) ∪ µ ∪ Δ'
+        for tuple_id in list(self._tags):
+            self._tags[tuple_id] = _TAU
+        closed_epoch = self.pending_epoch
+        self.current_epoch = closed_epoch
+        self.pending_epoch = None
+        self.plan = None
+        self.phase = JoinerPhase.NORMAL
+        self._keep.clear()
+        self._signals.clear()
+        self._expected_senders.clear()
+        self._received_ends.clear()
+        return FinalizeResult(discarded=discarded, epoch=closed_epoch)

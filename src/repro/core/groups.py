@@ -1,0 +1,151 @@
+"""Power-of-two group decomposition for arbitrary cluster sizes (§4.2.2, Fig. 4).
+
+When the number of joiners ``J`` is not a power of two, it is decomposed into
+its binary representation ``J = J_1 + J_2 + ... + J_c`` with every ``J_i`` a
+power of two, and the machines are split into ``c`` independent groups.  Each
+group runs the grid-layout scheme over its own machines.  An incoming tuple is
+*stored* in exactly one group — chosen pseudo-randomly with probability
+proportional to the group size — but is *joined* against the stored state of
+every group, so result completeness is preserved.  The paper shows that this
+at most doubles the storage competitive ratio (3.75 overall) and multiplies
+routing by a ``log J`` factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapping import GridPlacement, Mapping, optimal_mapping, square_mapping
+
+
+def power_of_two_decomposition(machines: int) -> list[int]:
+    """Decompose ``machines`` into decreasing powers of two (binary expansion)."""
+    if machines < 1:
+        raise ValueError("machines must be positive")
+    sizes = []
+    bit = 1 << (machines.bit_length() - 1)
+    remaining = machines
+    while bit:
+        if remaining & bit:
+            sizes.append(bit)
+            remaining -= bit
+        bit >>= 1
+    return sizes
+
+
+@dataclass
+class MachineGroup:
+    """One power-of-two group of machines running its own grid mapping."""
+
+    index: int
+    machine_ids: tuple[int, ...]
+    mapping: Mapping
+
+    @property
+    def size(self) -> int:
+        return len(self.machine_ids)
+
+    def placement(self) -> GridPlacement:
+        """Grid placement of this group's current mapping over its machines."""
+        return GridPlacement(mapping=self.mapping, machine_ids=self.machine_ids)
+
+
+@dataclass
+class GroupedCluster:
+    """A cluster of arbitrary size decomposed into independent grid groups.
+
+    Args:
+        machines: total number of joiners ``J``.
+    """
+
+    machines: int
+    groups: list[MachineGroup] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            sizes = power_of_two_decomposition(self.machines)
+            start = 0
+            for index, size in enumerate(sizes):
+                ids = tuple(range(start, start + size))
+                self.groups.append(
+                    MachineGroup(index=index, machine_ids=ids, mapping=square_mapping(size))
+                )
+                start += size
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    def storage_probabilities(self) -> list[float]:
+        """Probability that an incoming tuple is stored in each group (J_i / J)."""
+        return [group.size / self.machines for group in self.groups]
+
+    def largest_group(self) -> MachineGroup:
+        """The group L of §4.2.2 whose storage bounds the whole cluster's."""
+        return max(self.groups, key=lambda group: group.size)
+
+    # --------------------------------------------------------------- routing
+
+    def storing_group(self, salt: float) -> MachineGroup:
+        """The unique group that stores a tuple with the given salt.
+
+        The salt doubles as the pseudo-random hash of §4.2.2: group ``i`` is
+        chosen when the salt falls into a range of width ``J_i / J``.
+        """
+        cumulative = 0.0
+        for group in self.groups:
+            cumulative += group.size / self.machines
+            if salt < cumulative:
+                return group
+        return self.groups[-1]
+
+    def route(self, salt: float, is_left: bool) -> list[tuple[int, bool]]:
+        """Machines a tuple must visit, with a per-machine "store here" flag.
+
+        A tuple is sent to one row (left tuples) or one column (right tuples)
+        of *every* group — so it joins against all stored state — but only the
+        machines of its storing group keep it.
+        """
+        storing = self.storing_group(salt)
+        destinations: list[tuple[int, bool]] = []
+        for group in self.groups:
+            placement = group.placement()
+            if is_left:
+                row = min(int(salt * group.mapping.n), group.mapping.n - 1)
+                members = placement.machines_for_row(row)
+            else:
+                col = min(int(salt * group.mapping.m), group.mapping.m - 1)
+                members = placement.machines_for_col(col)
+            store_here = group.index == storing.index
+            destinations.extend((machine, store_here) for machine in members)
+        return destinations
+
+    def routing_fanout(self, is_left: bool) -> int:
+        """Number of machines one tuple is sent to (≤ a log J factor of one group's)."""
+        total = 0
+        for group in self.groups:
+            total += group.mapping.m if is_left else group.mapping.n
+        return total
+
+    # -------------------------------------------------------------- adaptivity
+
+    def adapt_group(self, index: int, r_count: float, s_count: float) -> Mapping:
+        """Re-optimise the mapping of group ``index`` for the given stored counts.
+
+        Groups adapt independently and asynchronously (§4.2.2); this helper
+        returns (and installs) the group's new optimal mapping.
+        """
+        group = self.groups[index]
+        group.mapping = optimal_mapping(group.size, max(r_count, 1.0), max(s_count, 1.0))
+        return group.mapping
+
+    def expected_storage_ratio_bound(self) -> float:
+        """Upper bound on the storage competitive-ratio inflation due to grouping.
+
+        §4.2.2: the largest group holds at least half the machines, so the
+        competitive ratio of storage is at most doubled.
+        """
+        largest = self.largest_group().size
+        return self.machines / largest

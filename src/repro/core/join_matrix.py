@@ -1,0 +1,147 @@
+"""The join-matrix model and the geometry results of §3.
+
+A join between streams ``R`` and ``S`` is modelled as a matrix ``M`` whose
+cell ``M(i, j)`` is true iff ``r_i`` and ``s_j`` satisfy the join predicate;
+any join condition is a subset of the cross product, so the model is fully
+general.  A partitioning scheme covers the matrix with regions, one per
+machine; the per-machine input size is the (weighted) semi-perimeter of its
+region and the per-machine join work is its area.
+
+This module provides the geometric quantities and the two schemes compared in
+§3.4: the paper's grid-layout scheme (Theorem 3.2: semi-perimeter within
+1.07× of optimal, area exactly optimal) and the square-region scheme of Okcan
+& Riedewald (Theorem 3.1: within 2× / 4× respectively).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.mapping import Mapping, ilf_lower_bound, optimal_mapping, power_of_two_mappings
+from repro.joins.predicates import JoinPredicate
+
+
+@dataclass(frozen=True)
+class JoinMatrix:
+    """Dimensions (and optionally tuple sizes) of a join matrix."""
+
+    r_count: float
+    s_count: float
+    r_size: float = 1.0
+    s_size: float = 1.0
+
+    def area(self) -> float:
+        """Total number of candidate cells ``|R|·|S|``."""
+        return self.r_count * self.s_count
+
+    def region_area(self, mapping: Mapping) -> float:
+        """Cells evaluated by one machine under ``mapping`` (mapping independent)."""
+        return self.area() / mapping.machines
+
+    def region_semi_perimeter(self, mapping: Mapping) -> float:
+        """Weighted semi-perimeter of one region: the mapping's ILF."""
+        return mapping.ilf(self.r_count, self.s_count, self.r_size, self.s_size)
+
+    def semi_perimeter_lower_bound(self, machines: int) -> float:
+        """Optimal continuous lower bound ``2·√(|R||S|/J)`` (weighted)."""
+        return ilf_lower_bound(machines, self.r_count, self.s_count, self.r_size, self.s_size)
+
+    def area_lower_bound(self, machines: int) -> float:
+        """Optimal per-machine area ``|R||S|/J``."""
+        return self.area() / machines
+
+    def optimal_grid_mapping(self, machines: int) -> Mapping:
+        """Best power-of-two grid mapping for these dimensions."""
+        return optimal_mapping(machines, self.r_count, self.s_count, self.r_size, self.s_size)
+
+    def grid_competitive_ratio(self, machines: int) -> float:
+        """Semi-perimeter of the best grid mapping over the continuous lower bound.
+
+        Theorem 3.2 proves this never exceeds ``(1/√2 + √2)/2 ≈ 1.0607``
+        (reported as 1.07 in the paper) whenever the cardinality ratio is
+        within a factor ``J``; the ratio is exactly 1 beyond that.
+        """
+        best = self.optimal_grid_mapping(machines)
+        return self.region_semi_perimeter(best) / self.semi_perimeter_lower_bound(machines)
+
+    def count_true_cells(
+        self, left_records: list[dict], right_records: list[dict], predicate: JoinPredicate
+    ) -> int:
+        """Materialise the join matrix for small inputs (used by tests/examples)."""
+        return sum(
+            1
+            for left in left_records
+            for right in right_records
+            if predicate.matches(left, right)
+        )
+
+
+GRID_SEMI_PERIMETER_BOUND = (1.0 / math.sqrt(2.0) + math.sqrt(2.0)) / 2.0
+"""Tight constant of Theorem 3.2 (≈ 1.0607, quoted as 1.07 in the paper)."""
+
+
+@dataclass(frozen=True)
+class OkcanSquareScheme:
+    """The square-region ("1-Bucket-Theta") scheme of Okcan & Riedewald.
+
+    The join matrix is covered with square regions of equal side; some
+    machines may be left unused.  Theorem 3.1 (quoted from [28]) bounds its
+    region semi-perimeter by ``4·√(|R||S|/J)`` and its region area by
+    ``4·|R||S|/J``.
+    """
+
+    matrix: JoinMatrix
+    machines: int
+
+    def side(self) -> float:
+        """Square side chosen so that at most ``J`` squares cover the matrix."""
+        area_per_machine = self.matrix.area() / self.machines
+        side = math.sqrt(area_per_machine)
+        rows = max(1, math.ceil(self.matrix.r_count / side))
+        cols = max(1, math.ceil(self.matrix.s_count / side))
+        while rows * cols > self.machines:
+            side *= 1.05
+            rows = max(1, math.ceil(self.matrix.r_count / side))
+            cols = max(1, math.ceil(self.matrix.s_count / side))
+        return side
+
+    def regions_used(self) -> int:
+        """Number of machines actually assigned a region."""
+        side = self.side()
+        rows = max(1, math.ceil(self.matrix.r_count / side))
+        cols = max(1, math.ceil(self.matrix.s_count / side))
+        return rows * cols
+
+    def region_semi_perimeter(self) -> float:
+        """Weighted semi-perimeter of one square region."""
+        side = self.side()
+        r_side = min(side, self.matrix.r_count)
+        s_side = min(side, self.matrix.s_count)
+        return self.matrix.r_size * r_side + self.matrix.s_size * s_side
+
+    def region_area(self) -> float:
+        """Cells evaluated by one used machine."""
+        side = self.side()
+        return min(side, self.matrix.r_count) * min(side, self.matrix.s_count)
+
+    def satisfies_theorem_3_1(self) -> bool:
+        """Check the 4×-semi-perimeter / 4×-area bounds of Theorem 3.1."""
+        semi_ok = self.region_semi_perimeter() <= 4.0 * math.sqrt(
+            self.matrix.area() / self.machines
+        ) + max(self.matrix.r_size, self.matrix.s_size)
+        area_ok = self.region_area() <= 4.0 * self.matrix.area() / self.machines + 1.0
+        return semi_ok and area_ok
+
+
+def mapping_spectrum(matrix: JoinMatrix, machines: int) -> list[tuple[Mapping, float]]:
+    """Every power-of-two mapping with its ILF, sorted from best to worst.
+
+    Useful for the Fig. 2 style comparison of mapping choices and for the
+    Fig. 7c/7d sweep over "how far the optimal mapping is from (√J, √J)".
+    """
+    pairs = [
+        (mapping, matrix.region_semi_perimeter(mapping))
+        for mapping in power_of_two_mappings(machines)
+    ]
+    return sorted(pairs, key=lambda pair: pair[1])

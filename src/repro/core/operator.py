@@ -1,0 +1,289 @@
+"""The parallel online theta-join operators.
+
+:class:`AdaptiveJoinOperator` is the paper's contribution ("Dynamic" in §5):
+a content-insensitive, skew-resilient dataflow operator that continuously
+re-optimises its (n, m)-mapping using decentralised statistics (Alg. 1), the
+1.25-competitive migration decision rule (Alg. 2) and the non-blocking
+eventually-consistent relocation protocol (Alg. 3).
+
+:class:`GridJoinOperator` is the shared machinery: it assembles the Fig. 1c
+topology (one reshuffler + one joiner per machine, one reshuffler doubling as
+the controller) inside the simulated cluster, feeds the input streams and
+harvests a :class:`~repro.core.results.RunResult`.  The static baselines and
+the SHJ comparator of §5 are thin subclasses (see
+:mod:`repro.core.baselines`).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.decision import MigrationController
+from repro.core.mapping import Mapping, is_power_of_two, optimal_mapping, square_mapping
+from repro.core.results import RunResult
+from repro.core.tasks import HashReshufflerTask, JoinerTask, ReshufflerTask, Topology
+from repro.data.queries import JoinQuery
+from repro.engine.machine import CostModel
+from repro.engine.simulator import Simulator
+from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams, make_tuples
+
+
+class GridJoinOperator:
+    """Base class: a parallel join operator over a grid-partitioned cluster.
+
+    Args:
+        query: the workload (two materialised input streams + predicate).
+        machines: number of joiners J; must be a power of two (the paper's
+            experiments use 16–128; arbitrary J is handled analytically by
+            :mod:`repro.core.groups`).
+        cost_model: CPU/network/storage cost model; defaults to
+            :class:`~repro.engine.machine.CostModel`'s defaults.
+        seed: seed controlling tuple salts, arrival interleaving and routing.
+        initial_mapping: mapping in force at start-up; defaults to the square
+            ``(√J, √J)`` scheme.
+        adaptive: whether the controller may trigger migrations.
+        epsilon: the ε of Theorem 4.2 (1.0 = Algorithm 2 as published).
+        warmup_tuples: minimum (estimated global) tuple count before the first
+            migration may be considered.
+        layout: machine-to-cell layout, ``"dyadic"`` (locality-aware, default)
+            or ``"row_major"`` (naive ablation).
+        blocking: model the blocking actuation protocol instead of Alg. 3.
+        memory_capacity: per-machine storage budget; ``None`` = unbounded.
+        sample_every: controller sampling period for ILF/ratio time series.
+    """
+
+    operator_name = "Grid"
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        initial_mapping: Mapping | None = None,
+        adaptive: bool = False,
+        epsilon: float = 1.0,
+        warmup_tuples: float | None = None,
+        layout: str = "dyadic",
+        blocking: bool = False,
+        memory_capacity: float | None = None,
+        sample_every: int = 200,
+    ) -> None:
+        if not is_power_of_two(machines):
+            raise ValueError(
+                f"this operator implementation requires a power-of-two number of joiners, "
+                f"got {machines}; see repro.core.groups for the general-J decomposition"
+            )
+        self.query = query
+        self.machines = machines
+        self.cost_model = (cost_model or CostModel()).with_memory(memory_capacity)
+        self.seed = seed
+        self.initial_mapping = initial_mapping or square_mapping(machines)
+        self.adaptive = adaptive
+        self.epsilon = epsilon
+        self.warmup_tuples = warmup_tuples if warmup_tuples is not None else 4.0 * machines
+        self.layout = layout
+        self.blocking = blocking
+        self.sample_every = sample_every
+
+    # ------------------------------------------------------------------ build
+
+    def _reshuffler_class(self) -> type[ReshufflerTask]:
+        return ReshufflerTask
+
+    def _build_topology(self) -> Topology:
+        topology = Topology(
+            machines=self.machines,
+            left_relation=self.query.left_relation,
+            right_relation=self.query.right_relation,
+            predicate=self.query.predicate,
+            left_size=self.query.left_tuple_size,
+            right_size=self.query.right_tuple_size,
+            layout=self.layout,
+        )
+        topology.joiner_names = [f"joiner-{i}" for i in range(self.machines)]
+        topology.reshuffler_names = [f"reshuffler-{i}" for i in range(self.machines)]
+        topology.controller_name = topology.reshuffler_names[0]
+        return topology
+
+    def _build_tasks(self, topology: Topology, expected_inputs: int) -> list:
+        tasks = []
+        reshuffler_class = self._reshuffler_class()
+        for machine_id in range(self.machines):
+            is_controller = machine_id == 0
+            controller = None
+            if is_controller:
+                controller = MigrationController(
+                    machines=self.machines,
+                    epsilon=self.epsilon,
+                    r_size=self.query.left_tuple_size,
+                    s_size=self.query.right_tuple_size,
+                    warmup_tuples=self.warmup_tuples,
+                    # The controller works off 1/J-sampled statistics (Alg. 1);
+                    # a small improvement margin prevents migration thrashing
+                    # on sampling noise around near-tie mappings.
+                    min_improvement=0.02,
+                )
+            tasks.append(
+                reshuffler_class(
+                    name=topology.reshuffler_names[machine_id],
+                    machine_id=machine_id,
+                    topology=topology,
+                    initial_mapping=self.initial_mapping,
+                    controller=controller,
+                    adaptive=self.adaptive,
+                    blocking=self.blocking,
+                    sample_every=self.sample_every,
+                    expected_inputs=expected_inputs,
+                )
+            )
+            tasks.append(
+                JoinerTask(
+                    name=topology.joiner_names[machine_id],
+                    machine_id=machine_id,
+                    topology=topology,
+                )
+            )
+        return tasks
+
+    # ------------------------------------------------------------------- run
+
+    def prepare_tuples(
+        self, rng: random.Random
+    ) -> tuple[list[StreamTuple], list[StreamTuple]]:
+        """Wrap the query's records into salted stream tuples."""
+        left = make_tuples(
+            self.query.left_relation, self.query.left_records, rng, self.query.left_tuple_size
+        )
+        right = make_tuples(
+            self.query.right_relation,
+            self.query.right_records,
+            rng,
+            self.query.right_tuple_size,
+        )
+        return left, right
+
+    def run(
+        self,
+        arrival_pattern: str = "uniform",
+        inter_arrival: float = 0.0,
+        arrival_order: Sequence[StreamTuple] | None = None,
+        collect_outputs: bool = False,
+        max_events: int | None = None,
+    ) -> RunResult:
+        """Execute the operator on the workload inside a fresh simulation.
+
+        Args:
+            arrival_pattern: interleaving of the two input streams ("uniform",
+                "alternate", "r_first", "s_first"); ignored when an explicit
+                ``arrival_order`` is supplied.
+            inter_arrival: virtual-time gap between consecutive arrivals.
+            arrival_order: explicit arrival sequence (used by the fluctuation
+                experiment of §5.4); must contain exactly the query's tuples.
+            collect_outputs: retain every output pair for verification.
+            max_events: optional safety bound on simulation events.
+
+        Returns:
+            A :class:`RunResult` with every measured quantity.
+        """
+        rng = random.Random(self.seed)
+        simulator = Simulator(
+            num_machines=self.machines,
+            cost_model=self.cost_model,
+            seed=self.seed,
+            collect_outputs=collect_outputs,
+        )
+        if arrival_order is None:
+            left, right = self.prepare_tuples(rng)
+            order = interleave_streams(left, right, rng, pattern=arrival_pattern)
+        else:
+            order = list(arrival_order)
+        expected_inputs = len(order)
+
+        topology = self._build_topology()
+        tasks = self._build_tasks(topology, expected_inputs)
+        simulator.register_all(tasks)
+
+        reshuffler_names = topology.reshuffler_names
+        schedule = ArrivalSchedule(items=order, inter_arrival=inter_arrival)
+        simulator.feed_schedule(
+            schedule, destination_picker=lambda _item: rng.choice(reshuffler_names)
+        )
+        simulator.run(max_events=max_events)
+        return self._collect_result(simulator, topology, expected_inputs)
+
+    # --------------------------------------------------------------- results
+
+    def _collect_result(
+        self, simulator: Simulator, topology: Topology, expected_inputs: int
+    ) -> RunResult:
+        metrics = simulator.metrics
+        controller_task = simulator.tasks[topology.controller_name]
+        final_mapping = controller_task.mapping
+
+        total = max(expected_inputs, 1)
+        progress = [
+            (count / total, time)
+            for count, time in metrics.progress_times[:: max(1, len(metrics.progress_times) // 200)]
+        ]
+        ilf_series = [
+            (min(1.0, count / total), value) for count, value in _indexed(metrics.ilf_series)
+        ]
+        return RunResult(
+            operator=self.operator_name,
+            query=self.query.name,
+            machines=self.machines,
+            execution_time=simulator.execution_time(),
+            throughput=metrics.throughput(),
+            output_count=metrics.output_count,
+            output_throughput=metrics.output_throughput(),
+            average_latency=metrics.average_latency(),
+            max_ilf=simulator.max_machine_storage(),
+            final_max_storage=max(machine.stored_size for machine in simulator.machines),
+            total_storage=simulator.total_storage(),
+            routing_volume=simulator.network.routing_volume(),
+            migration_volume=simulator.network.migration_volume(),
+            total_network_volume=simulator.network.total_volume(),
+            migrations=metrics.migration_count(),
+            spilled=simulator.any_spilled(),
+            max_competitive_ratio=metrics.max_competitive_ratio(),
+            final_mapping=final_mapping,
+            ilf_series=ilf_series,
+            ratio_series=list(metrics.ratio_series),
+            cardinality_series=list(metrics.competitive_series),
+            progress_series=progress,
+            outputs=list(metrics.outputs) if metrics.collect_outputs else None,
+        )
+
+
+def _indexed(series: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Convert an ILF series sampled on controller ticks into per-sample points.
+
+    The controller records a sample every ``sample_every`` of *its own* tuples;
+    the x coordinate it stored is the global processed count at that moment,
+    so the series is already indexed by processed tuples.
+    """
+    return series
+
+
+class AdaptiveJoinOperator(GridJoinOperator):
+    """The paper's adaptive operator ("Dynamic" in the evaluation)."""
+
+    operator_name = "Dynamic"
+
+    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+        kwargs.setdefault("adaptive", True)
+        super().__init__(query, machines, **kwargs)
+
+
+def theoretical_optimal_mapping(query: JoinQuery, machines: int) -> Mapping:
+    """The optimal mapping given oracle knowledge of the final stream sizes."""
+    left_count, right_count = query.cardinalities
+    return optimal_mapping(
+        machines,
+        max(left_count, 1),
+        max(right_count, 1),
+        query.left_tuple_size,
+        query.right_tuple_size,
+    )

@@ -1,0 +1,84 @@
+"""Uniform result record returned by every operator run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.mapping import Mapping
+
+
+@dataclass
+class RunResult:
+    """Outcome of running one operator on one workload in the simulator.
+
+    Every quantity the paper's evaluation section reports is available here,
+    so the benchmark harness only formats, never recomputes.
+
+    Attributes:
+        operator: operator name ("Dynamic", "StaticMid", "StaticOpt", "SHJ").
+        query: workload name (EQ5, EQ7, BCI, BNCI, FLUCT, ...).
+        machines: number of joiners used.
+        execution_time: virtual completion time of the run.
+        throughput: input tuples routed per unit of virtual time.
+        output_count: number of join results produced.
+        output_throughput: output tuples per unit of virtual time.
+        average_latency: mean output-tuple latency (§5.2 definition).
+        max_ilf: largest per-machine *received* size — the measured input-load
+            factor (storage + replicated messages per machine).
+        final_max_storage: largest per-machine stored size at the end.
+        total_storage: total cluster storage at the end (Fig. 6b right axis).
+        routing_volume / migration_volume / total_network_volume: network
+            traffic split by cause.
+        migrations: number of mapping changes performed.
+        spilled: whether any machine exceeded its memory budget.
+        max_competitive_ratio: largest observed ILF/ILF* ratio (Fig. 8c).
+        final_mapping: the (n, m) mapping in force when the run ended.
+        ilf_series: (fraction of input processed, max per-machine ILF) samples.
+        ratio_series: (tuples processed, ILF/ILF*) samples.
+        cardinality_series: (tuples processed, |R|/|S|) samples.
+        progress_series: (fraction of input processed, virtual time) samples.
+        outputs: matched (left_tuple_id, right_tuple_id) pairs when output
+            collection was requested (tests only).
+    """
+
+    operator: str
+    query: str
+    machines: int
+    execution_time: float
+    throughput: float
+    output_count: int
+    output_throughput: float
+    average_latency: float
+    max_ilf: float
+    final_max_storage: float
+    total_storage: float
+    routing_volume: float
+    migration_volume: float
+    total_network_volume: float
+    migrations: int
+    spilled: bool
+    max_competitive_ratio: float
+    final_mapping: Mapping
+    ilf_series: list[tuple[float, float]] = field(default_factory=list)
+    ratio_series: list[tuple[int, float]] = field(default_factory=list)
+    cardinality_series: list[tuple[int, float]] = field(default_factory=list)
+    progress_series: list[tuple[float, float]] = field(default_factory=list)
+    outputs: list[tuple[int, int]] | None = None
+
+    def summary_row(self) -> dict[str, float | int | str | bool]:
+        """Flat dictionary used by the benchmark reports."""
+        return {
+            "operator": self.operator,
+            "query": self.query,
+            "machines": self.machines,
+            "execution_time": round(self.execution_time, 2),
+            "throughput": round(self.throughput, 4),
+            "output_count": self.output_count,
+            "avg_latency": round(self.average_latency, 3),
+            "max_ilf": round(self.max_ilf, 2),
+            "total_storage": round(self.total_storage, 2),
+            "migration_volume": round(self.migration_volume, 2),
+            "migrations": self.migrations,
+            "spilled": self.spilled,
+            "final_mapping": str(self.final_mapping),
+        }

@@ -1,0 +1,442 @@
+"""Reshuffler, controller and joiner tasks of the dataflow operator (Fig. 1c).
+
+These are the actors that run inside the simulated cluster.  Each machine
+hosts one reshuffler and one joiner.  One reshuffler is additionally the
+*controller*: it maintains the decentralised statistics of Algorithm 1,
+runs the migration decision of Algorithm 2 and coordinates the epoch changes
+of Algorithm 3.  The joiners run a local non-blocking join wrapped in the
+:class:`~repro.core.epochs.EpochJoinerState` protocol state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decision import MigrationController
+from repro.core.epochs import EpochJoinerState, JoinerPhase, TupleActions
+from repro.core.mapping import GridPlacement, Mapping
+from repro.core.migration import MigrationPlan, plan_migration
+from repro.engine.network import TrafficCategory
+from repro.engine.stream import StreamTuple
+from repro.engine.task import Context, Message, MessageKind, Task
+from repro.joins.local import make_local_joiner
+from repro.joins.predicates import JoinPredicate
+
+
+@dataclass
+class Topology:
+    """Shared, static description of the operator's topology.
+
+    The mutable ``plan_cache`` only memoises deterministic computations
+    (every joiner derives the same plan from the same pair of mappings), so
+    sharing it across tasks does not leak run-time state between machines.
+    """
+
+    machines: int
+    left_relation: str
+    right_relation: str
+    predicate: JoinPredicate
+    left_size: float = 1.0
+    right_size: float = 1.0
+    layout: str = "dyadic"
+    joiner_names: list[str] = field(default_factory=list)
+    reshuffler_names: list[str] = field(default_factory=list)
+    controller_name: str = ""
+    plan_cache: dict[tuple[tuple[int, int], tuple[int, int]], MigrationPlan] = field(
+        default_factory=dict
+    )
+    placement_cache: dict[tuple[int, int], GridPlacement] = field(default_factory=dict)
+
+    def joiner(self, machine_id: int) -> str:
+        """Name of the joiner task hosted on ``machine_id``."""
+        return self.joiner_names[machine_id]
+
+    def placement(self, mapping: Mapping) -> GridPlacement:
+        """Grid placement for ``mapping`` over this topology's machines."""
+        key = (mapping.n, mapping.m)
+        if key not in self.placement_cache:
+            self.placement_cache[key] = GridPlacement(
+                mapping=mapping,
+                machine_ids=tuple(range(self.machines)),
+                layout=self.layout,
+            )
+        return self.placement_cache[key]
+
+    def plan(self, old_mapping: Mapping, new_mapping: Mapping) -> MigrationPlan:
+        """Locality-aware migration plan between two mappings (memoised)."""
+        key = ((old_mapping.n, old_mapping.m), (new_mapping.n, new_mapping.m))
+        if key not in self.plan_cache:
+            self.plan_cache[key] = plan_migration(
+                self.placement(old_mapping), self.placement(new_mapping)
+            )
+        return self.plan_cache[key]
+
+
+class ReshufflerTask(Task):
+    """Routes incoming tuples to joiners; the controller instance also adapts.
+
+    Args:
+        name: task name.
+        machine_id: hosting machine.
+        topology: shared topology description.
+        initial_mapping: the (n, m) scheme in force at start-up.
+        controller: the Algorithm 2 state — only the controller reshuffler
+            carries one; ``None`` for the others.
+        adaptive: when False the mapping never changes (static operators).
+        blocking: when True, models the blocking actuation protocol the paper
+            argues against (§4.3): input is buffered while a migration runs.
+        sample_every: record ILF / ratio samples every this many tuples seen
+            by this task (controller only).
+        expected_inputs: total number of input tuples (for progress metrics).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine_id: int,
+        topology: Topology,
+        initial_mapping: Mapping,
+        controller: MigrationController | None = None,
+        adaptive: bool = True,
+        blocking: bool = False,
+        sample_every: int = 200,
+        expected_inputs: int = 0,
+    ) -> None:
+        super().__init__(name, machine_id)
+        self.topology = topology
+        self.mapping = initial_mapping
+        self.controller = controller
+        self.adaptive = adaptive
+        self.blocking = blocking
+        self.sample_every = max(1, sample_every)
+        self.expected_inputs = expected_inputs
+
+        self.epoch = 0
+        self.migration_in_flight = False
+        self.acks_received = 0
+        self.buffering = False
+        self._buffer: list[StreamTuple] = []
+        self._seen = 0
+
+    # -------------------------------------------------------------- handling
+
+    @property
+    def is_controller(self) -> bool:
+        return self.controller is not None
+
+    def handle(self, message: Message, ctx: Context) -> None:
+        if message.kind is MessageKind.SOURCE:
+            self._handle_source(message.payload, ctx)
+        elif message.kind is MessageKind.MAPPING_CHANGE:
+            self._handle_mapping_change(message, ctx)
+        elif message.kind is MessageKind.MIGRATION_ACK:
+            self._handle_ack(message, ctx)
+        elif message.kind is MessageKind.RESUME:
+            self._handle_resume(ctx)
+        else:
+            raise ValueError(f"reshuffler {self.name} cannot handle {message.kind}")
+
+    def _handle_source(self, item: StreamTuple, ctx: Context) -> None:
+        ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
+        if self.blocking and self.buffering:
+            self._buffer.append(item)
+            return
+        self._process_tuple(item, ctx)
+
+    def _process_tuple(self, item: StreamTuple, ctx: Context) -> None:
+        is_left = item.relation == self.topology.left_relation
+        self._seen += 1
+        ctx.metrics.record_input_processed(ctx.now)
+
+        if self.is_controller:
+            self._controller_duties(item, is_left, ctx)
+
+        self._route(item, is_left, ctx)
+
+    def _controller_duties(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
+        assert self.controller is not None
+        # Scaled increment (Alg. 1 lines 3/5): this task sees ~1/J of the input.
+        self.controller.observe(is_left, increment=float(self.topology.machines))
+
+        if self._seen % self.sample_every == 0:
+            # x coordinate: global count of tuples processed so far, converted
+            # to a fraction of the input stream by the result collector.
+            ctx.metrics.record_ilf(float(ctx.metrics.processed_inputs), ctx.cluster_peak_stored())
+        if self.controller.total >= self.controller.warmup_tuples:
+            # The ILF/ILF* ratio and the cardinality ratio are cheap to compute
+            # and drive Fig. 8c, so they are sampled on every controller tuple.
+            ctx.metrics.record_competitive_ratio(
+                int(self.controller.total), self.controller.competitive_ratio(self.mapping)
+            )
+            if self.controller.total_s > 0:
+                ctx.metrics.record_cardinality_ratio(
+                    int(self.controller.total),
+                    self.controller.total_r / self.controller.total_s,
+                )
+
+        if not self.adaptive or self.migration_in_flight:
+            return
+        decision = self.controller.check(self.mapping)
+        if decision is None or not decision.migrate:
+            return
+        self._trigger_migration(decision.new_mapping, ctx)
+
+    def _trigger_migration(self, new_mapping: Mapping, ctx: Context) -> None:
+        old_mapping = self.mapping
+        self.migration_in_flight = True
+        self.acks_received = 0
+        next_epoch = self.epoch + 1
+        ctx.metrics.start_migration(
+            next_epoch, ctx.now, (old_mapping.n, old_mapping.m), (new_mapping.n, new_mapping.m)
+        )
+        meta = {
+            "epoch": next_epoch,
+            "new_mapping": (new_mapping.n, new_mapping.m),
+            "old_mapping": (old_mapping.n, old_mapping.m),
+        }
+        for reshuffler in self.topology.reshuffler_names:
+            ctx.send(
+                reshuffler,
+                Message(kind=MessageKind.MAPPING_CHANGE, sender=self.name, meta=dict(meta)),
+                category=TrafficCategory.CONTROL,
+            )
+
+    def _handle_mapping_change(self, message: Message, ctx: Context) -> None:
+        new_mapping = Mapping(*message.meta["new_mapping"])
+        old_mapping = Mapping(*message.meta["old_mapping"])
+        epoch = message.meta["epoch"]
+        if epoch <= self.epoch:
+            return
+        self.epoch = epoch
+        self.mapping = new_mapping
+        if self.blocking:
+            self.buffering = True
+        for machine_id in range(self.topology.machines):
+            ctx.send(
+                self.topology.joiner(machine_id),
+                Message(
+                    kind=MessageKind.EPOCH_SIGNAL,
+                    sender=self.name,
+                    epoch=epoch,
+                    meta={
+                        "epoch": epoch,
+                        "new_mapping": (new_mapping.n, new_mapping.m),
+                        "old_mapping": (old_mapping.n, old_mapping.m),
+                    },
+                ),
+                category=TrafficCategory.CONTROL,
+            )
+
+    def _handle_ack(self, message: Message, ctx: Context) -> None:
+        if not self.is_controller:
+            raise ValueError(f"non-controller reshuffler {self.name} received an ack")
+        self.acks_received += 1
+        if self.acks_received < self.topology.machines:
+            return
+        self.migration_in_flight = False
+        ctx.metrics.complete_migration(message.meta.get("epoch", self.epoch), ctx.now)
+        if self.blocking:
+            for reshuffler in self.topology.reshuffler_names:
+                ctx.send(
+                    reshuffler,
+                    Message(kind=MessageKind.RESUME, sender=self.name),
+                    category=TrafficCategory.CONTROL,
+                )
+
+    def _handle_resume(self, ctx: Context) -> None:
+        self.buffering = False
+        pending, self._buffer = self._buffer, []
+        for item in pending:
+            ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
+            self._process_tuple(item, ctx)
+
+    # ---------------------------------------------------------------- routing
+
+    def _route(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
+        placement = self.topology.placement(self.mapping)
+        tagged = item.with_epoch(self.epoch)
+        if is_left:
+            row = item.partition(self.mapping.n)
+            destinations = placement.machines_for_row(row)
+        else:
+            col = item.partition(self.mapping.m)
+            destinations = placement.machines_for_col(col)
+        for machine_id in destinations:
+            ctx.send(
+                self.topology.joiner(machine_id),
+                Message(
+                    kind=MessageKind.DATA,
+                    sender=self.name,
+                    payload=tagged,
+                    epoch=self.epoch,
+                    size=item.size,
+                ),
+                category=TrafficCategory.ROUTING,
+            )
+
+
+class HashReshufflerTask(ReshufflerTask):
+    """Content-sensitive routing used by the parallel symmetric hash join (SHJ).
+
+    Tuples are partitioned on the join key: each tuple goes to exactly one
+    joiner, chosen by hashing its key.  This is the classic equi-join
+    partitioning the paper compares against — efficient without skew, but a
+    few overloaded joiners absorb most of the input once the key distribution
+    is skewed.
+    """
+
+    def _route(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
+        predicate = self.topology.predicate
+        if predicate.kind != "equi":
+            raise ValueError("the SHJ operator only supports equi-join predicates")
+        key = (
+            predicate.left_key(item.record) if is_left else predicate.right_key(item.record)
+        )
+        machine_id = hash(key) % self.topology.machines
+        ctx.send(
+            self.topology.joiner(machine_id),
+            Message(
+                kind=MessageKind.DATA,
+                sender=self.name,
+                payload=item.with_epoch(self.epoch),
+                epoch=self.epoch,
+                size=item.size,
+            ),
+            category=TrafficCategory.ROUTING,
+        )
+
+
+class JoinerTask(Task):
+    """A joiner: local non-blocking join wrapped in the epoch protocol."""
+
+    def __init__(
+        self,
+        name: str,
+        machine_id: int,
+        topology: Topology,
+        migration_rate_factor: float = 2.0,
+    ) -> None:
+        super().__init__(name, machine_id)
+        self.topology = topology
+        store = make_local_joiner(
+            topology.predicate, topology.left_relation, topology.right_relation
+        )
+        self.state = EpochJoinerState(
+            machine_id=machine_id,
+            store=store,
+            num_reshufflers=len(topology.reshuffler_names) or topology.machines,
+            left_relation=topology.left_relation,
+        )
+        self.migration_rate_factor = migration_rate_factor
+        self._ends_sent_for: int | None = None
+
+    # -------------------------------------------------------------- handling
+
+    def handle(self, message: Message, ctx: Context) -> None:
+        if message.kind is MessageKind.DATA:
+            actions = self.state.handle_data(message.payload)
+            self._apply(actions, message.payload, ctx, migrated=False)
+        elif message.kind is MessageKind.MIGRATION:
+            actions = self.state.handle_migrated(message.payload)
+            self._apply(actions, message.payload, ctx, migrated=True)
+        elif message.kind is MessageKind.EPOCH_SIGNAL:
+            self._handle_signal(message, ctx)
+        elif message.kind is MessageKind.MIGRATION_END:
+            self.state.register_migration_end(message.meta["sender_machine"])
+            ctx.charge(0.01)
+            self._maybe_finalize(ctx)
+        else:
+            raise ValueError(f"joiner {self.name} cannot handle {message.kind}")
+
+    def _handle_signal(self, message: Message, ctx: Context) -> None:
+        epoch = message.meta["epoch"]
+        new_mapping = Mapping(*message.meta["new_mapping"])
+        old_mapping = Mapping(*message.meta["old_mapping"])
+        plan = self.topology.plan(old_mapping, new_mapping)
+        migrations, replayed = self.state.handle_signal(epoch, plan, reshuffler=message.sender)
+        ctx.charge(0.01)
+        self._send_migrations(migrations, ctx)
+        for replayed_item, actions in replayed:
+            self._apply(actions, replayed_item, ctx, migrated=False, charge_receive=False)
+        if self.state.phase is JoinerPhase.DRAINED and self._ends_sent_for != epoch:
+            self._ends_sent_for = epoch
+            for receiver in plan.receivers_from(self.machine_id):
+                ctx.send(
+                    self.topology.joiner(receiver),
+                    Message(
+                        kind=MessageKind.MIGRATION_END,
+                        sender=self.name,
+                        meta={"sender_machine": self.machine_id, "epoch": epoch},
+                    ),
+                    category=TrafficCategory.CONTROL,
+                )
+            self._maybe_finalize(ctx)
+
+    def _maybe_finalize(self, ctx: Context) -> None:
+        if not self.state.can_finalize():
+            return
+        result = self.state.finalize()
+        machine = ctx.machine
+        if machine is not None:
+            for item in result.discarded:
+                machine.remove_stored(item.size)
+        ctx.charge(0.01 * max(1, len(result.discarded)))
+        ctx.send(
+            self.topology.controller_name,
+            Message(
+                kind=MessageKind.MIGRATION_ACK,
+                sender=self.name,
+                meta={"machine": self.machine_id, "epoch": result.epoch},
+            ),
+            category=TrafficCategory.CONTROL,
+        )
+
+    # -------------------------------------------------------------- internals
+
+    def _send_migrations(
+        self, migrations: list[tuple[int, StreamTuple]], ctx: Context
+    ) -> None:
+        cost_model = ctx.machine.cost_model if ctx.machine else None
+        for destination, item in migrations:
+            if cost_model is not None:
+                ctx.charge(cost_model.reshuffle_cost)
+            ctx.send(
+                self.topology.joiner(destination),
+                Message(
+                    kind=MessageKind.MIGRATION,
+                    sender=self.name,
+                    payload=item,
+                    size=item.size,
+                    meta={"sender_machine": self.machine_id},
+                ),
+                category=TrafficCategory.MIGRATION,
+            )
+
+    def _apply(
+        self,
+        actions: TupleActions,
+        item: StreamTuple | None,
+        ctx: Context,
+        migrated: bool,
+        charge_receive: bool = True,
+    ) -> None:
+        machine = ctx.machine
+        cost_model = machine.cost_model if machine else None
+        if cost_model is not None:
+            factor = machine.storage_factor()
+            cost = 0.0
+            if charge_receive:
+                # Migrated tuples are processed faster than new input tuples
+                # (§4.3.2 processes them at twice the rate); the cost model's
+                # migration_cost encodes that ratio.
+                cost += cost_model.migration_cost if migrated else cost_model.receive_cost
+            if actions.stored:
+                cost += cost_model.store_cost * factor
+            cost += actions.probe_work * cost_model.probe_cost * factor
+            cost += len(actions.matches) * cost_model.match_cost
+            ctx.charge(cost)
+            if actions.stored and item is not None:
+                machine.add_stored(item.size)
+        for left, right in actions.matches:
+            ctx.emit_output(left, right)
+        self._send_migrations(actions.migrate_to, ctx)

@@ -1,0 +1,30 @@
+"""Workload generation: TPC-H-like data with tunable Zipf skew, and queries.
+
+The paper's evaluation uses the TPC-H benchmark generated with the
+Chaudhuri–Narasayya skewed generator (Zipf parameter ``z`` in
+``{0, 0.25, 0.5, 0.75, 1.0}``, labelled Z0–Z4) at sizes between 8 GB and
+640 GB.  Neither the original ``dbgen`` nor multi-hundred-gigabyte datasets
+are available (or useful) here, so this package generates *scaled-down,
+schema-compatible* tables with the same skew knob and the same relative
+cardinalities.  The experiments depend only on relative cardinalities and key
+frequency distributions, both of which are preserved.
+
+Queries: the two TPC-H derived equi-joins (EQ5, EQ7), the two synthetic band
+joins (BCI — computation-intensive, BNCI — non-computation-intensive), the
+Fluct-Join used by the data-dynamics experiment (§5.4), plus the Fig. 1a
+inequality-join example.
+"""
+
+from repro.data.queries import JoinQuery, available_queries, make_query
+from repro.data.skew import ZipfSampler, zipf_choice
+from repro.data.tpch import TpchDataset, generate_dataset
+
+__all__ = [
+    "JoinQuery",
+    "TpchDataset",
+    "ZipfSampler",
+    "available_queries",
+    "generate_dataset",
+    "make_query",
+    "zipf_choice",
+]

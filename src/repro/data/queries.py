@@ -1,0 +1,291 @@
+"""The evaluation queries of §5 (Table 1) plus supporting examples.
+
+Each query is represented as a :class:`JoinQuery`: two fully materialised
+input streams (the paper materialises all intermediate results before online
+processing) and the join predicate between them.
+
+* **EQ5** — the most expensive join of TPC-H Q5:
+  ``(REGION ⋈ NATION ⋈ SUPPLIER) ⋈ LINEITEM`` on ``suppkey`` (equi-join).
+* **EQ7** — the most expensive join of TPC-H Q7:
+  ``(SUPPLIER ⋈ NATION) ⋈ LINEITEM`` on ``suppkey`` (equi-join).
+* **BCI** — computation-intensive band self-join of LINEITEM on ``shipdate``
+  (output about three orders of magnitude larger than the input).
+* **BNCI** — non-computation-intensive band self-join of LINEITEM on
+  ``orderkey`` (output about an order of magnitude smaller than the input).
+* **FLUCT** — the Fluct-Join of §5.4: ``ORDERS ⋈ LINEITEM`` on ``orderkey``
+  with ship-priority filters, used with fluctuating arrival rates.
+* **THETA_NEQ** — the inequality join of Fig. 1a, exercising general theta
+  predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.tpch import Record, TpchDataset
+from repro.joins.predicates import (
+    BandPredicate,
+    EquiPredicate,
+    JoinPredicate,
+    NotEqualPredicate,
+)
+
+
+@dataclass
+class JoinQuery:
+    """A two-stream join workload.
+
+    Attributes:
+        name: query identifier (EQ5, EQ7, BCI, BNCI, FLUCT, THETA_NEQ).
+        left_relation: logical name of the left ("R") stream.
+        right_relation: logical name of the right ("S") stream.
+        left_records: materialised left input.
+        right_records: materialised right input.
+        predicate: the join condition between left and right records.
+        left_tuple_size: storage size units of a left tuple.
+        right_tuple_size: storage size units of a right tuple.
+    """
+
+    name: str
+    left_relation: str
+    right_relation: str
+    left_records: list[Record]
+    right_records: list[Record]
+    predicate: JoinPredicate
+    left_tuple_size: float = 1.0
+    right_tuple_size: float = 1.0
+    description: str = ""
+
+    @property
+    def cardinalities(self) -> tuple[int, int]:
+        """(|R|, |S|) cardinalities of the materialised inputs."""
+        return len(self.left_records), len(self.right_records)
+
+    def summary(self) -> str:
+        """One-line description used by the benchmark reports."""
+        left, right = self.cardinalities
+        return (
+            f"{self.name}: {self.left_relation}({left}) ⋈ "
+            f"{self.right_relation}({right}) on {self.predicate.describe()}"
+        )
+
+
+def _supplier_side_q5(dataset: TpchDataset, region_name: str = "ASIA") -> list[Record]:
+    """Materialise (REGION ⋈ NATION ⋈ SUPPLIER) restricted to one region.
+
+    At very small scale factors the preferred region may contain no suppliers
+    at all; in that case the most populated region is used instead so the
+    query's left stream is never empty.
+    """
+    nations_by_key = {n["nationkey"]: n for n in dataset.table("NATION")}
+    suppliers = dataset.table("SUPPLIER")
+
+    def side_for(region_keys: set) -> list[Record]:
+        side = []
+        for supplier in suppliers:
+            nation = nations_by_key.get(supplier["nationkey"])
+            if nation is None or nation["regionkey"] not in region_keys:
+                continue
+            record = dict(supplier)
+            record["nation_name"] = nation["name"]
+            record["regionkey"] = nation["regionkey"]
+            side.append(record)
+        return side
+
+    preferred = {r["regionkey"] for r in dataset.table("REGION") if r["name"] == region_name}
+    side = side_for(preferred)
+    if side:
+        return side
+    candidates = [
+        side_for({region["regionkey"]}) for region in dataset.table("REGION")
+    ]
+    return max(candidates, key=len)
+
+
+def _supplier_side_q7(
+    dataset: TpchDataset, nation_names: tuple[str, str] = ("FRANCE", "GERMANY")
+) -> list[Record]:
+    """Materialise (SUPPLIER ⋈ NATION) restricted to the two Q7 nations.
+
+    Falls back to the two most-populated nations when the preferred pair has
+    no suppliers at tiny scale factors.
+    """
+    nations_by_key = {n["nationkey"]: n for n in dataset.table("NATION")}
+    suppliers = dataset.table("SUPPLIER")
+
+    def side_for(names: tuple[str, ...]) -> list[Record]:
+        side = []
+        for supplier in suppliers:
+            nation = nations_by_key.get(supplier["nationkey"])
+            if nation is None or nation["name"] not in names:
+                continue
+            record = dict(supplier)
+            record["nation_name"] = nation["name"]
+            side.append(record)
+        return side
+
+    side = side_for(nation_names)
+    if side:
+        return side
+    counts: dict[str, int] = {}
+    for supplier in suppliers:
+        nation = nations_by_key.get(supplier["nationkey"])
+        if nation is not None:
+            counts[nation["name"]] = counts.get(nation["name"], 0) + 1
+    top_two = tuple(sorted(counts, key=counts.get, reverse=True)[:2])
+    return side_for(top_two)
+
+
+def _make_eq5(dataset: TpchDataset) -> JoinQuery:
+    left = _supplier_side_q5(dataset)
+    right = list(dataset.table("LINEITEM"))
+    return JoinQuery(
+        name="EQ5",
+        left_relation="RNS",
+        right_relation="LINEITEM",
+        left_records=left,
+        right_records=right,
+        predicate=EquiPredicate("suppkey", "suppkey"),
+        left_tuple_size=1.0,
+        right_tuple_size=1.0,
+        description="(R ⋈ N ⋈ S) ⋈ L, the most expensive join of TPC-H Q5",
+    )
+
+
+def _make_eq7(dataset: TpchDataset) -> JoinQuery:
+    left = _supplier_side_q7(dataset)
+    right = list(dataset.table("LINEITEM"))
+    return JoinQuery(
+        name="EQ7",
+        left_relation="SN",
+        right_relation="LINEITEM",
+        left_records=left,
+        right_records=right,
+        predicate=EquiPredicate("suppkey", "suppkey"),
+        description="(S ⋈ N) ⋈ L, the most expensive join of TPC-H Q7",
+    )
+
+
+def _make_bci(dataset: TpchDataset) -> JoinQuery:
+    lineitem = dataset.table("LINEITEM")
+    left = [
+        dict(item)
+        for item in lineitem
+        if item["shipmode"] == "TRUCK" and item["quantity"] > 45
+    ]
+    right = [dict(item) for item in lineitem if item["shipmode"] != "TRUCK"]
+    return JoinQuery(
+        name="BCI",
+        left_relation="L1",
+        right_relation="L2",
+        left_records=left,
+        right_records=right,
+        predicate=BandPredicate("shipdate", "shipdate", width=1),
+        description="computation-intensive band self-join on shipdate (high selectivity)",
+    )
+
+
+def _make_bnci(dataset: TpchDataset) -> JoinQuery:
+    lineitem = dataset.table("LINEITEM")
+    left = [
+        dict(item)
+        for item in lineitem
+        if item["shipmode"] == "TRUCK" and item["quantity"] > 48
+    ]
+    right = [dict(item) for item in lineitem if item["shipinstruct"] == "NONE"]
+    return JoinQuery(
+        name="BNCI",
+        left_relation="L1",
+        right_relation="L2",
+        left_records=left,
+        right_records=right,
+        predicate=BandPredicate("orderkey", "orderkey", width=1),
+        description="non-computation-intensive band self-join on orderkey (low selectivity)",
+    )
+
+
+def _make_fluct(dataset: TpchDataset) -> JoinQuery:
+    orders = [
+        dict(order)
+        for order in dataset.table("ORDERS")
+        if order["shippriority"] not in ("5-LOW", "1-URGENT")
+    ]
+    lineitem = list(dataset.table("LINEITEM"))
+    return JoinQuery(
+        name="FLUCT",
+        left_relation="ORDERS",
+        right_relation="LINEITEM",
+        left_records=orders,
+        right_records=lineitem,
+        predicate=EquiPredicate("orderkey", "orderkey"),
+        description="Fluct-Join: ORDERS ⋈ LINEITEM with shippriority filters (§5.4)",
+    )
+
+
+def _make_fluct_sym(dataset: TpchDataset) -> JoinQuery:
+    """Balanced variant of the Fluct-Join used by the §5.4 benchmark.
+
+    The paper drives the fluctuation experiment with ORDERS ⋈ LINEITEM at a
+    1:4 cardinality ratio on an 8 GB dataset — large enough for several full
+    swings of the |R|/|S| ratio.  At laptop scale the ORDERS side would be
+    exhausted after a single swing, so this variant splits LINEITEM into two
+    comparable halves joined on ``orderkey``, which exercises exactly the same
+    operator code path while allowing several ratio swings.
+    """
+    lineitem = dataset.table("LINEITEM")
+    left = [dict(item) for item in lineitem if item["linenumber"] % 2 == 0]
+    right = [dict(item) for item in lineitem if item["linenumber"] % 2 == 1]
+    return JoinQuery(
+        name="FLUCT_SYM",
+        left_relation="L_EVEN",
+        right_relation="L_ODD",
+        left_records=left,
+        right_records=right,
+        predicate=EquiPredicate("orderkey", "orderkey"),
+        description="balanced Fluct-Join variant for the data-dynamics experiment",
+    )
+
+
+def _make_theta_neq(dataset: TpchDataset) -> JoinQuery:
+    suppliers = list(dataset.table("SUPPLIER"))
+    nations = list(dataset.table("NATION"))
+    return JoinQuery(
+        name="THETA_NEQ",
+        left_relation="SUPPLIER",
+        right_relation="NATION",
+        left_records=suppliers,
+        right_records=nations,
+        predicate=NotEqualPredicate("nationkey", "nationkey"),
+        description="inequality join of Fig. 1a (general theta predicate)",
+    )
+
+
+_BUILDERS = {
+    "EQ5": _make_eq5,
+    "EQ7": _make_eq7,
+    "BCI": _make_bci,
+    "BNCI": _make_bnci,
+    "FLUCT": _make_fluct,
+    "FLUCT_SYM": _make_fluct_sym,
+    "THETA_NEQ": _make_theta_neq,
+}
+
+
+def available_queries() -> list[str]:
+    """Names of the queries this module can build."""
+    return sorted(_BUILDERS)
+
+
+def make_query(name: str, dataset: TpchDataset) -> JoinQuery:
+    """Build query ``name`` over ``dataset``.
+
+    Raises:
+        ValueError: if the query name is unknown.
+    """
+    try:
+        builder = _BUILDERS[name.upper()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown query {name!r}; available: {', '.join(available_queries())}"
+        ) from exc
+    return builder(dataset)

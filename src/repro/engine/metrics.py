@@ -1,0 +1,144 @@
+"""Run-wide metrics collection.
+
+The collector gathers everything the paper's evaluation reports:
+
+* output cardinality and (optionally) the full output for correctness checks,
+* per-output tuple latency (output time minus arrival of the newer input),
+* a time series of the maximum per-machine stored size (the ILF of Fig. 6a),
+* migration events with their start/end times and traffic,
+* the ILF competitive-ratio series of Fig. 8c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.stream import StreamTuple
+
+
+@dataclass
+class LatencySample:
+    """Latency of one output tuple."""
+
+    output_time: float
+    latency: float
+    machine_id: int
+
+
+@dataclass
+class MigrationEvent:
+    """One adaptivity event (mapping change) and its observed cost."""
+
+    epoch: int
+    decided_at: float
+    old_mapping: tuple[int, int]
+    new_mapping: tuple[int, int]
+    completed_at: float | None = None
+    migrated_volume: float = 0.0
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates observations during a simulation run."""
+
+    collect_outputs: bool = False
+    output_count: int = 0
+    outputs: list[tuple[int, int]] = field(default_factory=list)
+    latencies: list[LatencySample] = field(default_factory=list)
+    ilf_series: list[tuple[float, float]] = field(default_factory=list)
+    competitive_series: list[tuple[int, float]] = field(default_factory=list)
+    ratio_series: list[tuple[int, float]] = field(default_factory=list)
+    migrations: list[MigrationEvent] = field(default_factory=list)
+    processed_inputs: int = 0
+    finish_time: float = 0.0
+    progress_times: list[tuple[int, float]] = field(default_factory=list)
+
+    # ------------------------------------------------------------ recording
+
+    def record_output(
+        self,
+        left: StreamTuple,
+        right: StreamTuple,
+        output_time: float,
+        machine_id: int,
+    ) -> None:
+        """Record one join result (called by joiner tasks via the context)."""
+        self.output_count += 1
+        if self.collect_outputs:
+            self.outputs.append((left.tuple_id, right.tuple_id))
+        newer_arrival = max(left.arrival_time, right.arrival_time)
+        self.latencies.append(
+            LatencySample(
+                output_time=output_time,
+                latency=max(0.0, output_time - newer_arrival),
+                machine_id=machine_id,
+            )
+        )
+
+    def record_input_processed(self, now: float) -> None:
+        """Count an input tuple having been routed by a reshuffler."""
+        self.processed_inputs += 1
+        self.progress_times.append((self.processed_inputs, now))
+
+    def record_ilf(self, now: float, max_machine_ilf: float) -> None:
+        """Append one point to the ILF-versus-time series (Fig. 6a)."""
+        self.ilf_series.append((now, max_machine_ilf))
+
+    def record_competitive_ratio(self, processed: int, ratio: float) -> None:
+        """Append one point to the ILF/ILF* ratio series (Fig. 8c)."""
+        self.ratio_series.append((processed, ratio))
+
+    def record_cardinality_ratio(self, processed: int, ratio: float) -> None:
+        """Append one |R|/|S| sample (also plotted in Fig. 8c)."""
+        self.competitive_series.append((processed, ratio))
+
+    def start_migration(
+        self,
+        epoch: int,
+        now: float,
+        old_mapping: tuple[int, int],
+        new_mapping: tuple[int, int],
+    ) -> MigrationEvent:
+        """Open a migration event record."""
+        event = MigrationEvent(
+            epoch=epoch, decided_at=now, old_mapping=old_mapping, new_mapping=new_mapping
+        )
+        self.migrations.append(event)
+        return event
+
+    def complete_migration(self, epoch: int, now: float) -> None:
+        """Mark the migration that opened epoch ``epoch`` as completed."""
+        for event in reversed(self.migrations):
+            if event.epoch == epoch and event.completed_at is None:
+                event.completed_at = now
+                return
+
+    # ------------------------------------------------------------ summaries
+
+    def average_latency(self) -> float:
+        """Mean output-tuple latency (0 when no output was produced)."""
+        if not self.latencies:
+            return 0.0
+        return sum(sample.latency for sample in self.latencies) / len(self.latencies)
+
+    def throughput(self) -> float:
+        """Input tuples processed per unit of virtual time."""
+        if self.finish_time <= 0:
+            return 0.0
+        return self.processed_inputs / self.finish_time
+
+    def output_throughput(self) -> float:
+        """Output tuples produced per unit of virtual time."""
+        if self.finish_time <= 0:
+            return 0.0
+        return self.output_count / self.finish_time
+
+    def max_competitive_ratio(self) -> float:
+        """Largest observed ILF/ILF* ratio (1.0 when never recorded)."""
+        if not self.ratio_series:
+            return 1.0
+        return max(ratio for _, ratio in self.ratio_series)
+
+    def migration_count(self) -> int:
+        """Number of mapping changes triggered during the run."""
+        return len(self.migrations)

@@ -1,0 +1,97 @@
+"""Network model and traffic accounting.
+
+The network connects every pair of machines.  Each message incurs a fixed
+latency plus a size-proportional transfer cost, and all traffic is counted per
+category so that experiments can report routing traffic, replicated storage
+traffic and migration (adaptivity) traffic separately — the quantities behind
+Fig. 6b and the amortised-communication claims of §4.2.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.engine.machine import CostModel
+
+
+class TrafficCategory(enum.Enum):
+    """Categories of simulated network traffic."""
+
+    ROUTING = "routing"          # reshuffler -> joiner data tuples
+    MIGRATION = "migration"      # joiner -> joiner state relocation
+    CONTROL = "control"          # signals, acks, mapping changes
+    SOURCE = "source"            # source -> reshuffler ingest
+    OUTPUT = "output"            # joiner -> collector results
+
+
+@dataclass
+class Network:
+    """Cluster interconnect with per-category traffic counters.
+
+    Attributes:
+        cost_model: supplies latency and per-size transfer costs.
+        messages: number of messages sent per category.
+        volume: total size units transferred per category.
+    """
+
+    cost_model: CostModel
+    messages: dict[TrafficCategory, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    volume: dict[TrafficCategory, float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+    _last_delivery: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def transfer(
+        self,
+        sender: int,
+        receiver: int,
+        size: float,
+        category: TrafficCategory,
+        now: float,
+    ) -> float:
+        """Record a message and return its delivery time.
+
+        Messages between tasks co-located on the same machine still pay the
+        (small) local-delivery latency — Storm delivers through queues either
+        way — but are not counted in network volume.  Each (sender, receiver)
+        link is FIFO: a message never overtakes an earlier message on the same
+        link, which the epoch protocol of §4.3.1 relies on (epoch-change
+        signals must not be overtaken by tuples sent before them).
+        """
+        local = sender == receiver
+        if not local:
+            self.messages[category] += 1
+            self.volume[category] += size
+        latency = self.cost_model.network_latency
+        transfer_cost = 0.0 if local else self.cost_model.per_tuple_network_cost * size
+        delivery = now + latency + transfer_cost
+        link = (sender, receiver)
+        delivery = max(delivery, self._last_delivery.get(link, 0.0))
+        self._last_delivery[link] = delivery
+        return delivery
+
+    def total_volume(self) -> float:
+        """Total size units moved over the network (all categories)."""
+        return float(sum(self.volume.values()))
+
+    def data_volume(self) -> float:
+        """Size units of data traffic (routing + migration), excluding control/output."""
+        return float(
+            self.volume[TrafficCategory.ROUTING] + self.volume[TrafficCategory.MIGRATION]
+        )
+
+    def migration_volume(self) -> float:
+        """Size units moved due to state relocation (adaptivity cost)."""
+        return float(self.volume[TrafficCategory.MIGRATION])
+
+    def routing_volume(self) -> float:
+        """Size units moved by regular tuple routing."""
+        return float(self.volume[TrafficCategory.ROUTING])
+
+    def snapshot(self) -> dict[str, float]:
+        """A plain-dict summary of traffic volumes, keyed by category name."""
+        return {category.value: float(self.volume[category]) for category in TrafficCategory}

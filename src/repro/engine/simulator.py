@@ -1,0 +1,261 @@
+"""Deterministic discrete-event simulator.
+
+The simulator owns the cluster (machines + network), the task registry and a
+priority queue of pending events.  Two kinds of events exist:
+
+* **deliveries** — a message arrives at a task.  For tasks hosted on a
+  machine the message is appended to the machine's FIFO inbox (a machine
+  handles one message at a time); off-cluster tasks (sources, collectors)
+  handle it immediately.  Small control-plane messages (mapping changes,
+  migration acks, resume signals) bypass the data backlog, reflecting the
+  dedicated control channel of real deployments; data-plane ordering per link
+  is still FIFO, which the epoch protocol relies on.
+* **machine ticks** — a machine becomes free and handles the next message in
+  its inbox.  The handler's CPU charge extends the machine's busy time and
+  any messages it sends are scheduled after the work completes plus network
+  latency/transfer time.
+
+This yields the two quantities the paper's evaluation is built on:
+
+* **execution time** — the virtual time at which the last piece of work
+  finishes, dominated by the most loaded machine, and
+* **tuple latency** — output emission time minus the arrival time of the more
+  recent matching input tuple.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.engine.machine import CostModel, Machine
+from repro.engine.metrics import MetricsCollector
+from repro.engine.network import Network, TrafficCategory
+from repro.engine.stream import ArrivalSchedule, StreamTuple
+from repro.engine.task import Context, Message, MessageKind, Task
+
+#: Control-plane message kinds that are not queued behind the data backlog.
+PRIORITY_KINDS = frozenset(
+    {MessageKind.MAPPING_CHANGE, MessageKind.MIGRATION_ACK, MessageKind.RESUME}
+)
+
+
+@dataclass(order=True)
+class Event:
+    """A pending simulation event, ordered by (time, sequence number)."""
+
+    time: float
+    sequence: int
+    kind: str = field(compare=False)              # "deliver" or "tick"
+    destination: str = field(compare=False, default="")
+    message: Message | None = field(compare=False, default=None)
+    machine_id: int = field(compare=False, default=-1)
+
+
+class Simulator:
+    """Discrete-event simulation of a shared-nothing cluster.
+
+    Args:
+        num_machines: number of machines in the cluster.
+        cost_model: the CPU/network/storage cost model shared by all machines.
+        seed: seed of the simulation-wide random source.
+        collect_outputs: if True, the metrics collector retains every output
+            pair (needed for correctness tests; disabled for large benchmark
+            runs to bound memory).
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        collect_outputs: bool = False,
+    ) -> None:
+        self.cost_model = cost_model or CostModel()
+        self.machines = [Machine(machine_id=i, cost_model=self.cost_model) for i in range(num_machines)]
+        self.network = Network(cost_model=self.cost_model)
+        self.metrics = MetricsCollector(collect_outputs=collect_outputs)
+        self.rng = random.Random(seed)
+        self.tasks: dict[str, Task] = {}
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self._started: set[str] = set()
+        self._inboxes: list[deque] = [deque() for _ in range(num_machines)]
+        self._tick_scheduled: list[bool] = [False] * num_machines
+        self.now = 0.0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------ setup
+
+    def register(self, task: Task) -> Task:
+        """Add ``task`` to the topology.  Task names must be unique."""
+        if task.name in self.tasks:
+            raise ValueError(f"duplicate task name: {task.name}")
+        if task.machine_id >= len(self.machines):
+            raise ValueError(
+                f"task {task.name} placed on machine {task.machine_id} "
+                f"but the cluster has only {len(self.machines)} machines"
+            )
+        self.tasks[task.name] = task
+        return task
+
+    def register_all(self, tasks: Iterable[Task]) -> None:
+        """Register every task in ``tasks``."""
+        for task in tasks:
+            self.register(task)
+
+    def machine_of(self, task_name: str) -> Machine | None:
+        """The machine hosting ``task_name`` (None for off-cluster tasks)."""
+        task = self.tasks[task_name]
+        if task.machine_id < 0:
+            return None
+        return self.machines[task.machine_id]
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, time: float, destination: str, message: Message) -> None:
+        """Schedule ``message`` for delivery to ``destination`` at ``time``."""
+        if destination not in self.tasks:
+            raise KeyError(f"unknown task: {destination}")
+        heapq.heappush(
+            self._queue,
+            Event(time, next(self._sequence), "deliver", destination=destination, message=message),
+        )
+
+    def _schedule_tick(self, machine_id: int, time: float) -> None:
+        heapq.heappush(
+            self._queue,
+            Event(time, next(self._sequence), "tick", machine_id=machine_id),
+        )
+
+    def feed_schedule(self, schedule: ArrivalSchedule, destination_picker) -> None:
+        """Feed an arrival schedule into the topology.
+
+        Args:
+            schedule: the interleaved input streams.
+            destination_picker: callable ``tuple -> task name`` choosing the
+                reshuffler each tuple is sent to (the paper routes incoming
+                tuples to a random reshuffler).
+        """
+        for arrival_time, item in schedule.arrivals():
+            item.arrival_time = arrival_time
+            message = Message(
+                kind=MessageKind.SOURCE,
+                sender="__source__",
+                payload=item,
+                size=item.size,
+            )
+            self.schedule(arrival_time, destination_picker(item), message)
+
+    def post(
+        self,
+        sender_name: str,
+        destination: str,
+        message: Message,
+        category: TrafficCategory,
+        ctx: Context,
+    ) -> None:
+        """Send a message from a task while it is processing (called via Context)."""
+        sender_task = self.tasks[sender_name]
+        dest_task = self.tasks[destination]
+        departure = ctx.now + ctx.charged
+        sender_machine = sender_task.machine_id
+        dest_machine = dest_task.machine_id
+        if sender_machine < 0 or dest_machine < 0:
+            delivery = departure + self.cost_model.network_latency
+        else:
+            delivery = self.network.transfer(
+                sender_machine, dest_machine, message.size, category, departure
+            )
+        self.schedule(delivery, destination, message)
+
+    # ---------------------------------------------------------------- running
+
+    def _execute(self, task: Task, message: Message, start: float) -> None:
+        """Run one handler at logical time ``start`` and account its work."""
+        ctx = Context(self, task, start)
+        if task.name not in self._started:
+            self._started.add(task.name)
+            task.on_start(ctx)
+        task.handle(message, ctx)
+        machine = self.machine_of(task.name)
+        if machine is not None and ctx.charged > 0:
+            machine.occupy(start, ctx.charged)
+        self.events_processed += 1
+
+    def _deliver(self, event: Event) -> None:
+        task = self.tasks[event.destination]
+        machine = self.machine_of(task.name)
+        message = event.message
+        assert message is not None
+        if machine is None or message.kind in PRIORITY_KINDS:
+            # Off-cluster tasks and control-plane messages are handled at
+            # delivery time; control work still occupies the machine.
+            start = event.time if machine is None else max(event.time, event.time)
+            self._execute(task, message, start)
+            return
+        inbox = self._inboxes[machine.machine_id]
+        inbox.append((task, message))
+        if not self._tick_scheduled[machine.machine_id]:
+            self._tick_scheduled[machine.machine_id] = True
+            self._schedule_tick(machine.machine_id, max(event.time, machine.busy_until))
+
+    def _tick(self, event: Event) -> None:
+        machine_id = event.machine_id
+        inbox = self._inboxes[machine_id]
+        if not inbox:
+            self._tick_scheduled[machine_id] = False
+            return
+        task, message = inbox.popleft()
+        machine = self.machines[machine_id]
+        start = max(event.time, machine.busy_until)
+        self._execute(task, message, start)
+        if inbox:
+            self._schedule_tick(machine_id, max(machine.busy_until, start))
+        else:
+            self._tick_scheduled[machine_id] = False
+
+    def run(self, max_events: int | None = None) -> float:
+        """Run until the event queue drains.  Returns the completion time.
+
+        Completion time is the larger of the last event's time and the
+        busiest machine's final ``busy_until``.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            if event.kind == "deliver":
+                self._deliver(event)
+            else:
+                self._tick(event)
+            if max_events is not None and self.events_processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; possible signalling loop"
+                )
+        finish = self.now
+        for machine in self.machines:
+            finish = max(finish, machine.busy_until)
+        self.metrics.finish_time = finish
+        return finish
+
+    # ---------------------------------------------------------------- results
+
+    def execution_time(self) -> float:
+        """Virtual completion time of the run."""
+        return self.metrics.finish_time
+
+    def max_machine_storage(self) -> float:
+        """Peak stored size over all machines (the measured per-machine ILF)."""
+        return max((machine.peak_stored_size for machine in self.machines), default=0.0)
+
+    def total_storage(self) -> float:
+        """Total stored size across the cluster at the end of the run."""
+        return sum(machine.stored_size for machine in self.machines)
+
+    def any_spilled(self) -> bool:
+        """Whether any machine exceeded its memory budget during the run."""
+        return any(machine.spilled for machine in self.machines)

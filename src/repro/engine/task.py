@@ -1,0 +1,153 @@
+"""Task (actor) abstraction and message types.
+
+The operator of Fig. 1c is composed of *reshuffler* tasks and *joiner* tasks,
+one of each per machine, plus the data sources feeding the operator and a
+collector consuming its output.  Tasks communicate exclusively through
+messages; the engine delivers messages in virtual-time order and charges the
+processing cost to the hosting machine.
+
+Concrete task implementations live next to the operators that use them
+(``repro.core.operator`` and ``repro.core.baselines``); this module provides
+the base class, the message vocabulary and the :class:`Context` handed to a
+task while it processes a message.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.network import TrafficCategory
+from repro.engine.stream import StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers only
+    from repro.engine.simulator import Simulator
+
+
+class MessageKind(enum.Enum):
+    """The kinds of messages exchanged by tasks."""
+
+    DATA = "data"                      # a stream tuple routed to a joiner
+    SOURCE = "source"                  # a stream tuple arriving at a reshuffler
+    MIGRATION = "migration"            # a relocated tuple during migration
+    MIGRATION_END = "migration_end"    # sender finished relocating state to receiver
+    MAPPING_CHANGE = "mapping_change"  # controller -> reshufflers: new mapping/epoch
+    EPOCH_SIGNAL = "epoch_signal"      # reshuffler -> joiners: epoch change notice
+    MIGRATION_ACK = "migration_ack"    # joiner -> controller: finished migration
+    RESUME = "resume"                  # controller -> reshufflers: unblock buffered input
+    FLUSH = "flush"                    # end-of-stream marker
+
+
+@dataclass
+class Message:
+    """A message in flight between two tasks.
+
+    Attributes:
+        kind: message type.
+        sender: name of the sending task.
+        payload: a :class:`StreamTuple` for data/migration messages, or an
+            arbitrary structure for control messages.
+        epoch: epoch tag (meaningful for data, migration and control traffic).
+        size: size units used for network accounting.
+        meta: extra key/value context (e.g. the new mapping of a
+            MAPPING_CHANGE message).
+    """
+
+    kind: MessageKind
+    sender: str
+    payload: Any = None
+    epoch: int = 0
+    size: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+class Context:
+    """Per-delivery context given to ``Task.handle``.
+
+    It exposes the current virtual time, lets the task charge CPU work to its
+    machine and send messages to other tasks, and gives access to the shared
+    metrics collector.
+    """
+
+    def __init__(self, simulator: "Simulator", task: "Task", now: float) -> None:
+        self._simulator = simulator
+        self._task = task
+        self.now = now
+        self.charged = 0.0
+
+    @property
+    def metrics(self):
+        """The run-wide :class:`repro.engine.metrics.MetricsCollector`."""
+        return self._simulator.metrics
+
+    @property
+    def rng(self):
+        """The deterministic random source of the simulation."""
+        return self._simulator.rng
+
+    @property
+    def machine(self):
+        """The machine hosting the current task (None for off-cluster tasks)."""
+        return self._simulator.machine_of(self._task.name)
+
+    def cluster_peak_stored(self) -> float:
+        """Largest peak per-machine stored size observed so far (measured ILF)."""
+        return self._simulator.max_machine_storage()
+
+    def cluster_current_max_stored(self) -> float:
+        """Largest current per-machine stored size."""
+        return max(
+            (machine.stored_size for machine in self._simulator.machines), default=0.0
+        )
+
+    def charge(self, cost: float) -> None:
+        """Charge ``cost`` units of CPU work to the hosting machine."""
+        self.charged += cost
+
+    def send(
+        self,
+        destination: str,
+        message: Message,
+        category: TrafficCategory = TrafficCategory.ROUTING,
+    ) -> None:
+        """Send ``message`` to the task named ``destination``."""
+        self._simulator.post(self._task.name, destination, message, category, self)
+
+    def emit_output(self, left: StreamTuple, right: StreamTuple) -> None:
+        """Record one join result tuple.
+
+        The latency of the result follows the §5.2 definition: output time
+        minus the arrival time of the more recent of the two matching inputs.
+
+        Args:
+            left: the R-side tuple of the match.
+            right: the S-side tuple of the match.
+        """
+        self._simulator.metrics.record_output(
+            left, right, self.now + self.charged, self._task.machine_id
+        )
+
+
+class Task:
+    """Base class for all actors in the dataflow.
+
+    Attributes:
+        name: globally unique task name.
+        machine_id: machine hosting the task (``-1`` for off-cluster tasks
+            such as sources and collectors, which are not charged CPU time).
+    """
+
+    def __init__(self, name: str, machine_id: int = -1) -> None:
+        self.name = name
+        self.machine_id = machine_id
+
+    def handle(self, message: Message, ctx: Context) -> None:
+        """Process one message.  Implemented by subclasses."""
+        raise NotImplementedError
+
+    def on_start(self, ctx: Context) -> None:
+        """Hook invoked once before the first message is delivered."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} on machine {self.machine_id}>"

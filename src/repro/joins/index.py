@@ -1,0 +1,176 @@
+"""In-memory join indexes.
+
+The paper's joiners use hashmaps for equi-joins and balanced binary trees for
+band joins (§5, "Operators").  This module provides the equivalent structures:
+
+* :class:`HashIndex` — exact-key probes,
+* :class:`OrderedIndex` — range probes over a sorted key list (``bisect``
+  plays the role of the balanced tree),
+* :class:`ScanIndex` — fallback full scans for arbitrary theta predicates.
+
+Every probe reports the number of *candidates* inspected, which the engine
+charges as CPU work; this is how index choice influences simulated
+throughput, mirroring the real systems trade-off.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.engine.stream import StreamTuple
+
+
+class JoinIndex:
+    """Common interface of the local join indexes."""
+
+    def __init__(self, key_func: Callable[[StreamTuple], Any] | None = None) -> None:
+        self._key_func = key_func
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def insert(self, item: StreamTuple) -> None:
+        """Add ``item`` to the index."""
+        raise NotImplementedError
+
+    def remove(self, item: StreamTuple) -> bool:
+        """Remove ``item``; returns True if it was present."""
+        raise NotImplementedError
+
+    def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
+        """Return ``(candidates, candidates_inspected)`` for an exact key."""
+        raise NotImplementedError
+
+    def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
+        """Return ``(candidates, candidates_inspected)`` for a key range."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[StreamTuple]:
+        """Iterate over every stored tuple."""
+        raise NotImplementedError
+
+
+class HashIndex(JoinIndex):
+    """Hash index keyed by an extracted attribute (equi-join probes)."""
+
+    def __init__(self, key_func: Callable[[StreamTuple], Any]) -> None:
+        super().__init__(key_func)
+        self._buckets: dict[Any, list[StreamTuple]] = defaultdict(list)
+
+    def insert(self, item: StreamTuple) -> None:
+        self._buckets[self._key_func(item)].append(item)
+        self._count += 1
+
+    def remove(self, item: StreamTuple) -> bool:
+        bucket = self._buckets.get(self._key_func(item))
+        if not bucket:
+            return False
+        for index, existing in enumerate(bucket):
+            if existing.tuple_id == item.tuple_id:
+                bucket.pop(index)
+                self._count -= 1
+                return True
+        return False
+
+    def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
+        candidates = self._buckets.get(key, [])
+        return list(candidates), len(candidates)
+
+    def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
+        # A hash index cannot serve ranges efficiently; fall back to a scan.
+        candidates = [item for item in self.items() if low <= self._key_func(item) <= high]
+        return candidates, self._count
+
+    def items(self) -> Iterator[StreamTuple]:
+        for bucket in self._buckets.values():
+            yield from bucket
+
+
+class OrderedIndex(JoinIndex):
+    """Sorted index supporting range probes (band joins).
+
+    Keys are kept in a sorted list with parallel payload storage; ``bisect``
+    provides logarithmic lookups, standing in for the balanced binary tree the
+    paper uses.
+    """
+
+    def __init__(self, key_func: Callable[[StreamTuple], Any]) -> None:
+        super().__init__(key_func)
+        self._keys: list[Any] = []
+        self._values: list[StreamTuple] = []
+
+    def insert(self, item: StreamTuple) -> None:
+        key = self._key_func(item)
+        position = bisect.bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._values.insert(position, item)
+        self._count += 1
+
+    def remove(self, item: StreamTuple) -> bool:
+        key = self._key_func(item)
+        position = bisect.bisect_left(self._keys, key)
+        while position < len(self._keys) and self._keys[position] == key:
+            if self._values[position].tuple_id == item.tuple_id:
+                self._keys.pop(position)
+                self._values.pop(position)
+                self._count -= 1
+                return True
+            position += 1
+        return False
+
+    def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
+        return self.probe_range(key, key)
+
+    def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
+        start = bisect.bisect_left(self._keys, low)
+        end = bisect.bisect_right(self._keys, high)
+        candidates = self._values[start:end]
+        return list(candidates), max(len(candidates), 1)
+
+    def items(self) -> Iterator[StreamTuple]:
+        return iter(list(self._values))
+
+
+class ScanIndex(JoinIndex):
+    """Unindexed storage; every probe scans everything (general theta joins)."""
+
+    def __init__(self, key_func: Callable[[StreamTuple], Any] | None = None) -> None:
+        super().__init__(key_func)
+        self._items: list[StreamTuple] = []
+
+    def insert(self, item: StreamTuple) -> None:
+        self._items.append(item)
+        self._count += 1
+
+    def remove(self, item: StreamTuple) -> bool:
+        for index, existing in enumerate(self._items):
+            if existing.tuple_id == item.tuple_id:
+                self._items.pop(index)
+                self._count -= 1
+                return True
+        return False
+
+    def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
+        return list(self._items), len(self._items)
+
+    def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
+        return list(self._items), len(self._items)
+
+    def items(self) -> Iterator[StreamTuple]:
+        return iter(list(self._items))
+
+
+def make_index(kind: str, key_func: Callable[[StreamTuple], Any] | None) -> JoinIndex:
+    """Build the index matching a predicate ``kind`` (see :mod:`predicates`)."""
+    if kind == "equi":
+        if key_func is None:
+            raise ValueError("equi indexes require a key function")
+        return HashIndex(key_func)
+    if kind == "band":
+        if key_func is None:
+            raise ValueError("band indexes require a key function")
+        return OrderedIndex(key_func)
+    return ScanIndex(key_func)

@@ -1,0 +1,193 @@
+"""Local non-blocking join algorithms.
+
+A :class:`LocalJoiner` lives inside one joiner task.  It stores the tuples of
+both relations assigned to that joiner and, for every newly arriving tuple,
+immediately produces the joins with the stored tuples of the opposite
+relation — the classic symmetric/pipelined evaluation scheme of SHJ, XJoin and
+friends.  The operator is agnostic to which flavour runs locally (§3.2); the
+flavours differ only in the index structures they maintain and therefore in
+the CPU work a probe costs.
+
+``insert`` and ``probe`` return *work units* (number of candidates touched)
+so that the simulation engine can charge realistic, predicate-dependent CPU
+costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.engine.stream import StreamTuple
+from repro.joins.index import JoinIndex, make_index
+from repro.joins.predicates import JoinPredicate
+
+
+class LocalJoiner:
+    """Symmetric, index-backed local join over two relations.
+
+    Args:
+        predicate: the join condition; its ``kind`` selects the index type.
+        left_relation: relation name treated as the left/"R" side.
+        right_relation: relation name treated as the right/"S" side.
+    """
+
+    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+        self.predicate = predicate
+        self.left_relation = left_relation
+        self.right_relation = right_relation
+        self._indexes: dict[str, JoinIndex] = {
+            left_relation: self._build_index(side="left"),
+            right_relation: self._build_index(side="right"),
+        }
+
+    # ------------------------------------------------------------ index setup
+
+    def _key_func(self, side: str) -> Callable[[StreamTuple], object] | None:
+        if self.predicate.kind not in ("equi", "band"):
+            return None
+        if side == "left":
+            return lambda item: self.predicate.left_key(item.record)
+        return lambda item: self.predicate.right_key(item.record)
+
+    def _build_index(self, side: str) -> JoinIndex:
+        return make_index(self.predicate.kind, self._key_func(side))
+
+    # ---------------------------------------------------------------- storage
+
+    def _check_relation(self, relation: str) -> None:
+        if relation not in self._indexes:
+            raise KeyError(
+                f"unknown relation {relation!r}; expected "
+                f"{self.left_relation!r} or {self.right_relation!r}"
+            )
+
+    def opposite(self, relation: str) -> str:
+        """The other relation's name."""
+        self._check_relation(relation)
+        if relation == self.left_relation:
+            return self.right_relation
+        return self.left_relation
+
+    def insert(self, item: StreamTuple) -> float:
+        """Store ``item``; returns the work units spent."""
+        self._check_relation(item.relation)
+        self._indexes[item.relation].insert(item)
+        return 1.0
+
+    def remove(self, item: StreamTuple) -> bool:
+        """Remove ``item`` from storage; returns True if it was stored."""
+        self._check_relation(item.relation)
+        return self._indexes[item.relation].remove(item)
+
+    def count(self, relation: str) -> int:
+        """Number of stored tuples of ``relation``."""
+        self._check_relation(relation)
+        return len(self._indexes[relation])
+
+    def stored_size(self) -> float:
+        """Total size units stored across both relations."""
+        return sum(item.size for index in self._indexes.values() for item in index.items())
+
+    def stored(self, relation: str) -> Iterator[StreamTuple]:
+        """Iterate over stored tuples of ``relation``."""
+        self._check_relation(relation)
+        return self._indexes[relation].items()
+
+    # ----------------------------------------------------------------- probes
+
+    def probe(
+        self,
+        item: StreamTuple,
+        restrict: Callable[[StreamTuple], bool] | None = None,
+    ) -> tuple[list[StreamTuple], float]:
+        """Join ``item`` against stored tuples of the opposite relation.
+
+        Args:
+            item: the newly arrived tuple (not yet inserted).
+            restrict: optional filter over stored tuples; the epoch protocol
+                of §4.3.1 uses it to join against specific tuple sets
+                (``Keep(τ ∪ ∆)``, ``µ``, ``∆'``, ...).
+
+        Returns:
+            ``(matches, work_units)`` where ``matches`` are the stored tuples
+            satisfying the predicate with ``item`` and ``work_units`` counts
+            the candidates the index had to inspect.
+        """
+        self._check_relation(item.relation)
+        opposite_index = self._indexes[self.opposite(item.relation)]
+        item_is_left = item.relation == self.left_relation
+
+        candidates, inspected = self._candidates(opposite_index, item, item_is_left)
+        matches = []
+        for candidate in candidates:
+            if restrict is not None and not restrict(candidate):
+                continue
+            if item_is_left:
+                satisfied = self.predicate.matches(item.record, candidate.record)
+            else:
+                satisfied = self.predicate.matches(candidate.record, item.record)
+            if satisfied:
+                matches.append(candidate)
+        return matches, float(max(inspected, 1))
+
+    def _candidates(
+        self, opposite_index: JoinIndex, item: StreamTuple, item_is_left: bool
+    ) -> tuple[list[StreamTuple], int]:
+        kind = self.predicate.kind
+        if kind == "equi":
+            key = (
+                self.predicate.left_key(item.record)
+                if item_is_left
+                else self.predicate.right_key(item.record)
+            )
+            return opposite_index.probe(key)
+        if kind == "band":
+            key = (
+                self.predicate.left_key(item.record)
+                if item_is_left
+                else self.predicate.right_key(item.record)
+            )
+            width = getattr(self.predicate, "width", None)
+            if width is None:
+                width = getattr(getattr(self.predicate, "primary", None), "width", 0.0)
+            return opposite_index.probe_range(key - width, key + width)
+        return opposite_index.probe(None)
+
+    # -------------------------------------------------------------- reporting
+
+    def describe(self) -> str:
+        """Human-readable algorithm description."""
+        return f"{type(self).__name__}({self.predicate.describe()})"
+
+
+class SymmetricHashJoiner(LocalJoiner):
+    """Symmetric hash join (Wilschut & Apers); requires an equi predicate."""
+
+    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+        if predicate.kind != "equi":
+            raise ValueError("SymmetricHashJoiner requires an equi-join predicate")
+        super().__init__(predicate, left_relation, right_relation)
+
+
+class SortedBandJoiner(LocalJoiner):
+    """Sort/merge-flavoured local join with ordered indexes; for band predicates."""
+
+    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+        if predicate.kind != "band":
+            raise ValueError("SortedBandJoiner requires a band-join predicate")
+        super().__init__(predicate, left_relation, right_relation)
+
+
+class NestedLoopJoiner(LocalJoiner):
+    """Block-nested-loop local join; handles arbitrary theta predicates."""
+
+
+def make_local_joiner(
+    predicate: JoinPredicate, left_relation: str, right_relation: str
+) -> LocalJoiner:
+    """Pick the local algorithm matching the predicate kind."""
+    if predicate.kind == "equi":
+        return SymmetricHashJoiner(predicate, left_relation, right_relation)
+    if predicate.kind == "band":
+        return SortedBandJoiner(predicate, left_relation, right_relation)
+    return NestedLoopJoiner(predicate, left_relation, right_relation)

@@ -1,0 +1,173 @@
+"""Join predicates.
+
+The join-matrix model (§3.1) represents *any* join condition: a matrix cell
+``M(i, j)`` is true iff tuples ``r_i`` and ``s_j`` satisfy the predicate.  The
+operator itself is content-insensitive and never inspects predicates for
+routing; predicates only matter to the *local* join algorithm running inside
+each joiner, which can exploit their structure (hash probes for equi-joins,
+range probes for band joins, scans for general theta conditions).
+
+A predicate therefore exposes three things:
+
+* ``matches(left, right)`` — the truth value of the condition,
+* ``kind`` — ``"equi"``, ``"band"`` or ``"theta"``, advertising which index
+  type can serve it,
+* key extractors for the indexed kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+Record = dict[str, Any]
+
+
+class JoinPredicate:
+    """Base class for join predicates over record pairs."""
+
+    #: one of "equi", "band", "theta"
+    kind: str = "theta"
+
+    def matches(self, left: Record, right: Record) -> bool:
+        """Whether the pair ``(left, right)`` satisfies the join condition."""
+        raise NotImplementedError
+
+    def left_key(self, left: Record) -> Any:
+        """Key extracted from a left-relation record (indexed kinds only)."""
+        raise NotImplementedError
+
+    def right_key(self, right: Record) -> Any:
+        """Key extracted from a right-relation record (indexed kinds only)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        return type(self).__name__
+
+
+@dataclass
+class EquiPredicate(JoinPredicate):
+    """Equality predicate ``left[left_attr] == right[right_attr]``."""
+
+    left_attr: str
+    right_attr: str
+    kind: str = field(default="equi", init=False)
+
+    def matches(self, left: Record, right: Record) -> bool:
+        return left[self.left_attr] == right[self.right_attr]
+
+    def left_key(self, left: Record) -> Any:
+        return left[self.left_attr]
+
+    def right_key(self, right: Record) -> Any:
+        return right[self.right_attr]
+
+    def describe(self) -> str:
+        return f"{self.left_attr} = {self.right_attr}"
+
+
+@dataclass
+class BandPredicate(JoinPredicate):
+    """Band predicate ``|left[left_attr] - right[right_attr]| <= width``."""
+
+    left_attr: str
+    right_attr: str
+    width: float = 1.0
+    kind: str = field(default="band", init=False)
+
+    def matches(self, left: Record, right: Record) -> bool:
+        return abs(left[self.left_attr] - right[self.right_attr]) <= self.width
+
+    def left_key(self, left: Record) -> Any:
+        return left[self.left_attr]
+
+    def right_key(self, right: Record) -> Any:
+        return right[self.right_attr]
+
+    def describe(self) -> str:
+        return f"|{self.left_attr} - {self.right_attr}| <= {self.width}"
+
+
+@dataclass
+class ThetaPredicate(JoinPredicate):
+    """Arbitrary theta predicate given by a callable ``(left, right) -> bool``."""
+
+    condition: Callable[[Record, Record], bool]
+    name: str = "theta"
+    kind: str = field(default="theta", init=False)
+
+    def matches(self, left: Record, right: Record) -> bool:
+        return bool(self.condition(left, right))
+
+    def describe(self) -> str:
+        return self.name
+
+
+@dataclass
+class NotEqualPredicate(JoinPredicate):
+    """The inequality predicate used in the paper's Fig. 1a example."""
+
+    left_attr: str
+    right_attr: str
+    kind: str = field(default="theta", init=False)
+
+    def matches(self, left: Record, right: Record) -> bool:
+        return left[self.left_attr] != right[self.right_attr]
+
+    def describe(self) -> str:
+        return f"{self.left_attr} != {self.right_attr}"
+
+
+@dataclass
+class CompositePredicate(JoinPredicate):
+    """Conjunction of a *primary* (indexable) predicate and residual conditions.
+
+    The evaluation queries of §5 combine an equi or band condition with extra
+    per-pair filters (e.g. ``L1.shipmode = 'TRUCK' AND L2.shipmode != 'TRUCK'``).
+    The primary predicate drives index selection; the residual conditions are
+    applied to every candidate pair the index produces.
+    """
+
+    primary: JoinPredicate
+    residuals: Sequence[Callable[[Record, Record], bool]] = ()
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        self.kind = self.primary.kind
+
+    def matches(self, left: Record, right: Record) -> bool:
+        if not self.primary.matches(left, right):
+            return False
+        return all(residual(left, right) for residual in self.residuals)
+
+    def left_key(self, left: Record) -> Any:
+        return self.primary.left_key(left)
+
+    def right_key(self, right: Record) -> Any:
+        return self.primary.right_key(right)
+
+    def describe(self) -> str:
+        if self.name:
+            return self.name
+        extra = f" AND {len(self.residuals)} residual(s)" if self.residuals else ""
+        return self.primary.describe() + extra
+
+
+def cross_join_reference(
+    left_records: Sequence[Record],
+    right_records: Sequence[Record],
+    predicate: JoinPredicate,
+) -> list[tuple[int, int]]:
+    """Reference nested-loop evaluation over record *indexes*.
+
+    Used by tests to verify that every operator produces exactly the matching
+    pairs (result completeness, Definition 4.4) regardless of partitioning,
+    arrival order or migrations.
+    """
+    matches = []
+    for left_index, left in enumerate(left_records):
+        for right_index, right in enumerate(right_records):
+            if predicate.matches(left, right):
+                matches.append((left_index, right_index))
+    return matches

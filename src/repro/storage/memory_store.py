@@ -1,0 +1,65 @@
+"""In-memory tuple store with size accounting."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.engine.stream import StreamTuple
+
+
+class MemoryStore:
+    """A simple per-relation in-memory tuple store.
+
+    Tracks total stored size (in tuple size units) and supports removal by
+    tuple identity, which migrations rely on.
+    """
+
+    def __init__(self) -> None:
+        self._by_relation: dict[str, dict[int, StreamTuple]] = {}
+        self._size = 0.0
+
+    def __len__(self) -> int:
+        return sum(len(rel) for rel in self._by_relation.values())
+
+    @property
+    def size(self) -> float:
+        """Total stored size in tuple size units."""
+        return self._size
+
+    def add(self, item: StreamTuple) -> None:
+        """Store ``item`` (idempotent per tuple_id)."""
+        relation = self._by_relation.setdefault(item.relation, {})
+        if item.tuple_id not in relation:
+            relation[item.tuple_id] = item
+            self._size += item.size
+
+    def remove(self, item: StreamTuple) -> bool:
+        """Remove ``item`` if present; returns True when something was removed."""
+        relation = self._by_relation.get(item.relation)
+        if not relation or item.tuple_id not in relation:
+            return False
+        removed = relation.pop(item.tuple_id)
+        self._size -= removed.size
+        return True
+
+    def contains(self, item: StreamTuple) -> bool:
+        """Whether ``item`` is currently stored."""
+        relation = self._by_relation.get(item.relation)
+        return bool(relation) and item.tuple_id in relation
+
+    def count(self, relation: str) -> int:
+        """Number of stored tuples of ``relation``."""
+        return len(self._by_relation.get(relation, {}))
+
+    def tuples(self, relation: str | None = None) -> Iterator[StreamTuple]:
+        """Iterate over stored tuples, optionally restricted to one relation."""
+        if relation is not None:
+            yield from list(self._by_relation.get(relation, {}).values())
+            return
+        for rel in list(self._by_relation.values()):
+            yield from list(rel.values())
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._by_relation.clear()
+        self._size = 0.0

@@ -1,0 +1,53 @@
+"""Tuple store with a memory budget and spill penalty (BerkeleyDB stand-in)."""
+
+from __future__ import annotations
+
+from repro.engine.stream import StreamTuple
+from repro.storage.memory_store import MemoryStore
+
+
+class SpillStore(MemoryStore):
+    """A :class:`MemoryStore` that models overflow to secondary storage.
+
+    Once the stored size exceeds ``capacity`` the store is considered spilled:
+    every subsequent access reports ``penalty`` as its cost factor instead of
+    1.0, and the amount of data beyond the budget is tracked as
+    ``spilled_size``.  The paper's finding that machines which overflow to
+    disk dominate execution time is reproduced by feeding this factor into the
+    machine cost model.
+
+    Args:
+        capacity: memory budget in tuple size units; ``None`` disables
+            spilling.
+        penalty: cost multiplier once the budget is exceeded.
+    """
+
+    def __init__(self, capacity: float | None = None, penalty: float = 10.0) -> None:
+        super().__init__()
+        self.capacity = capacity
+        self.penalty = penalty
+        self.spill_events = 0
+
+    @property
+    def is_spilled(self) -> bool:
+        """Whether the store currently exceeds its memory budget."""
+        return self.capacity is not None and self.size > self.capacity
+
+    @property
+    def spilled_size(self) -> float:
+        """Amount of stored data beyond the memory budget."""
+        if self.capacity is None:
+            return 0.0
+        return max(0.0, self.size - self.capacity)
+
+    def add(self, item: StreamTuple) -> float:
+        """Store ``item``; returns the access cost factor (1.0 or the penalty)."""
+        super().add(item)
+        if self.is_spilled:
+            self.spill_events += 1
+            return self.penalty
+        return 1.0
+
+    def access_factor(self) -> float:
+        """Cost factor for probing/maintaining state in its current condition."""
+        return self.penalty if self.is_spilled else 1.0

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.data.queries import make_query
+from repro.data.tpch import generate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A tiny uniform dataset reused by many tests (deterministic)."""
+    return generate_dataset(scale=0.1, skew="Z0", seed=42)
+
+
+@pytest.fixture(scope="session")
+def skewed_dataset():
+    """A tiny heavily skewed (Z4) dataset."""
+    return generate_dataset(scale=0.1, skew="Z4", seed=42)
+
+
+@pytest.fixture(scope="session")
+def eq5_query(small_dataset):
+    return make_query("EQ5", small_dataset)
+
+
+@pytest.fixture(scope="session")
+def bnci_query(small_dataset):
+    return make_query("BNCI", small_dataset)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(7)

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro.bench`` command-line entry point."""
+
+import pytest
+
+from repro.bench.cli import DRIVERS, build_parser, run
+
+
+class TestCli:
+    def test_every_documented_experiment_has_a_driver(self):
+        for name in ("table2", "fig6a", "fig6b", "fig6c", "fig6d", "fig7a", "fig7b",
+                     "fig7cd", "fig8ab", "fig8cd"):
+            assert name in DRIVERS
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig6a"])
+        assert args.experiments == ["fig6a"]
+        assert args.machines == 16
+
+    def test_run_single_experiment(self, capsys):
+        reports = run(["fig6d", "--scale", "0.15", "--machines", "4", "--seed", "2"])
+        assert len(reports) == 1
+        assert reports[0].name == "fig6d"
+        captured = capsys.readouterr()
+        assert "Fig. 6d" in captured.out
+
+    def test_run_multiple_experiments(self, capsys):
+        reports = run(
+            ["ablation-epsilon", "ablation-blocking", "--scale", "0.15", "--machines", "4"]
+        )
+        assert {report.name for report in reports} == {"ablation_epsilon", "ablation_blocking"}
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            run(["fig99", "--scale", "0.1"])

@@ -1,0 +1,92 @@
+"""Tests for the elastic expansion scheme (§4.2.2, Fig. 5, Theorem 4.3)."""
+
+import pytest
+
+from repro.core.elasticity import (
+    ExpansionPolicy,
+    expansion_cost_bound,
+    expansion_mapping,
+    plan_expansion,
+)
+from repro.core.mapping import GridPlacement, Mapping
+from repro.core.migration import interval_intersection, interval_length
+
+
+class TestExpansionPolicy:
+    def test_triggers_above_half_budget(self):
+        policy = ExpansionPolicy(max_tuples_per_joiner=100, max_machines=64)
+        assert not policy.should_expand(per_joiner_state=40, current_machines=4)
+        assert policy.should_expand(per_joiner_state=60, current_machines=4)
+
+    def test_respects_machine_ceiling(self):
+        policy = ExpansionPolicy(max_tuples_per_joiner=100, max_machines=8)
+        assert not policy.should_expand(per_joiner_state=90, current_machines=4)
+
+
+class TestExpansionMapping:
+    def test_factor_four_doubles_both_dimensions(self):
+        assert expansion_mapping(Mapping(2, 2)) == Mapping(4, 4)
+        assert expansion_mapping(Mapping(1, 4)) == Mapping(2, 8)
+
+    def test_factor_two_doubles_smaller_dimension(self):
+        assert expansion_mapping(Mapping(2, 4), factor=2) == Mapping(4, 4)
+        assert expansion_mapping(Mapping(8, 2), factor=2) == Mapping(8, 4)
+        with pytest.raises(ValueError):
+            expansion_mapping(Mapping(2, 2), factor=3)
+
+
+class TestPlanExpansion:
+    def _plan(self, n=2, m=2):
+        old = GridPlacement(mapping=Mapping(n, m))
+        machines = n * m
+        new_ids = list(range(4 * machines))
+        return old, plan_expansion(old, new_ids)
+
+    def test_old_machines_keep_a_child_cell(self):
+        old, step = self._plan()
+        for machine_id, _ in old.cells():
+            assert machine_id in step.new_placement.machine_ids
+
+    def test_every_new_machine_has_a_parent_covering_its_state(self):
+        """Fig. 5: each fresh joiner receives its entire state from the joiner
+        it split off from — no third-party traffic."""
+        old, step = self._plan()
+        fresh = set(step.new_placement.machine_ids) - set(old.machine_ids)
+        assert len(fresh) == 3 * old.mapping.machines
+        for machine_id in fresh:
+            parent = step.parent_of[machine_id]
+            senders = step.plan.senders_to(machine_id)
+            assert senders == {parent}
+            # the parent's old intervals cover everything the child needs
+            for side in ("R", "S"):
+                child_needs = step.plan.new_assignments[machine_id].interval(side)
+                parent_had = step.plan.old_assignments[parent].interval(side)
+                overlap = interval_intersection(child_needs, parent_had)
+                assert overlap == child_needs
+
+    def test_expansion_cost_within_theorem_4_3_bound(self):
+        """Each parent ships at most twice its stored state (Theorem 4.3)."""
+        old, step = self._plan()
+        r_count, s_count = 1000.0, 1000.0
+        per_joiner_state = r_count / old.mapping.n + s_count / old.mapping.m
+        for machine_id, _ in old.cells():
+            outgoing = step.plan.outgoing(machine_id)
+            shipped = sum(
+                interval_length([t.interval]) * (r_count if t.side == "R" else s_count)
+                for t in outgoing
+            )
+            assert shipped <= expansion_cost_bound(per_joiner_state) + 1e-9
+
+    def test_competitive_ratio_of_ilf_unaffected(self):
+        """Splitting every machine into four does not change n/m, hence not the
+        ILF ratio (§4.2.2)."""
+        old_mapping = Mapping(2, 8)
+        new_mapping = expansion_mapping(old_mapping)
+        assert new_mapping.n / new_mapping.m == pytest.approx(old_mapping.n / old_mapping.m)
+
+    def test_validation(self):
+        old = GridPlacement(mapping=Mapping(2, 2))
+        with pytest.raises(ValueError):
+            plan_expansion(old, list(range(8)))          # wrong count
+        with pytest.raises(ValueError):
+            plan_expansion(old, list(range(4, 20)))      # drops old machines

@@ -1,0 +1,99 @@
+"""Tests for the power-of-two group decomposition (general cluster sizes, §4.2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groups import GroupedCluster, power_of_two_decomposition
+from repro.core.mapping import Mapping
+
+
+class TestDecomposition:
+    def test_binary_expansion(self):
+        assert power_of_two_decomposition(20) == [16, 4]
+        assert power_of_two_decomposition(22) == [16, 4, 2]
+        assert power_of_two_decomposition(64) == [64]
+        assert power_of_two_decomposition(1) == [1]
+
+    @given(st.integers(1, 4096))
+    @settings(max_examples=200)
+    def test_sums_to_machines_and_all_powers_of_two(self, machines):
+        sizes = power_of_two_decomposition(machines)
+        assert sum(sizes) == machines
+        assert all(size & (size - 1) == 0 for size in sizes)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            power_of_two_decomposition(0)
+
+
+class TestGroupedCluster:
+    def test_groups_partition_the_machines(self):
+        cluster = GroupedCluster(machines=22)
+        ids = [m for group in cluster.groups for m in group.machine_ids]
+        assert sorted(ids) == list(range(22))
+        assert cluster.group_count == 3
+
+    def test_storage_probabilities(self):
+        cluster = GroupedCluster(machines=20)
+        probabilities = cluster.storage_probabilities()
+        assert probabilities == pytest.approx([16 / 20, 4 / 20])
+        assert sum(probabilities) == pytest.approx(1.0)
+
+    def test_largest_group_bound(self):
+        """§4.2.2: the largest group holds at least half the machines, so the
+        storage competitive ratio is at most doubled."""
+        for machines in (3, 20, 22, 100, 127):
+            cluster = GroupedCluster(machines=machines)
+            assert cluster.largest_group().size >= machines / 2
+            assert cluster.expected_storage_ratio_bound() <= 2.0
+
+    def test_storing_group_distribution(self):
+        rng = random.Random(0)
+        cluster = GroupedCluster(machines=20)
+        counts = {0: 0, 1: 0}
+        for _ in range(5000):
+            counts[cluster.storing_group(rng.random()).index] += 1
+        assert counts[0] / 5000 == pytest.approx(0.8, abs=0.05)
+
+    def test_routing_covers_one_row_or_column_of_every_group(self):
+        cluster = GroupedCluster(machines=20)
+        destinations = cluster.route(salt=0.37, is_left=True)
+        machines = [machine for machine, _ in destinations]
+        assert len(machines) == len(set(machines))
+        assert len(machines) == cluster.routing_fanout(is_left=True)
+        # stored in exactly one group
+        stored_machines = [machine for machine, store in destinations if store]
+        storing_group = cluster.storing_group(0.37)
+        assert stored_machines
+        assert all(machine in storing_group.machine_ids for machine in stored_machines)
+
+    def test_every_pair_of_tuples_meets_on_some_machine(self):
+        """Result completeness: for any (r, s) salt pair, some machine both
+        stores one side and receives the other for joining."""
+        rng = random.Random(1)
+        cluster = GroupedCluster(machines=22)
+        for _ in range(300):
+            r_salt, s_salt = rng.random(), rng.random()
+            r_dests = cluster.route(r_salt, is_left=True)
+            s_dests = cluster.route(s_salt, is_left=False)
+            r_stored = {m for m, store in r_dests if store}
+            s_stored = {m for m, store in s_dests if store}
+            r_visited = {m for m, _ in r_dests}
+            s_visited = {m for m, _ in s_dests}
+            # the earlier-stored tuple must be visited by the later one
+            assert (r_stored & s_visited) or (s_stored & r_visited)
+
+    def test_adapt_group_changes_mapping(self):
+        cluster = GroupedCluster(machines=20)
+        new_mapping = cluster.adapt_group(0, r_count=10, s_count=16000)
+        assert new_mapping == Mapping(1, 16)
+        assert cluster.groups[0].mapping == new_mapping
+
+    def test_power_of_two_cluster_is_single_group(self):
+        cluster = GroupedCluster(machines=64)
+        assert cluster.group_count == 1
+        assert cluster.routing_fanout(is_left=True) == cluster.groups[0].mapping.m

@@ -1,0 +1,97 @@
+"""Tests for the join-matrix geometry (§3) and the Okcan square-scheme baseline."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.join_matrix import (
+    GRID_SEMI_PERIMETER_BOUND,
+    JoinMatrix,
+    OkcanSquareScheme,
+    mapping_spectrum,
+)
+from repro.core.mapping import Mapping
+from repro.joins.predicates import NotEqualPredicate
+
+
+class TestJoinMatrix:
+    def test_area_and_region_area(self):
+        matrix = JoinMatrix(r_count=100, s_count=200)
+        assert matrix.area() == 20_000
+        assert matrix.region_area(Mapping(4, 4)) == pytest.approx(1250)
+        assert matrix.area_lower_bound(16) == pytest.approx(1250)
+
+    def test_semi_perimeter_is_the_ilf(self):
+        matrix = JoinMatrix(r_count=100, s_count=800, r_size=2.0)
+        mapping = Mapping(2, 8)
+        assert matrix.region_semi_perimeter(mapping) == pytest.approx(
+            mapping.ilf(100, 800, 2.0, 1.0)
+        )
+
+    def test_optimal_grid_mapping_and_ratio(self):
+        matrix = JoinMatrix(r_count=64, s_count=4096)
+        best = matrix.optimal_grid_mapping(64)
+        assert best == Mapping(1, 64)
+        assert matrix.grid_competitive_ratio(64) <= GRID_SEMI_PERIMETER_BOUND + 1e-9
+
+    @given(st.integers(1, 3000), st.integers(1, 3000),
+           st.sampled_from([4, 16, 64]))
+    @settings(max_examples=150)
+    def test_theorem_3_2_semi_perimeter_bound(self, r_count, s_count, machines):
+        matrix = JoinMatrix(r_count=r_count, s_count=s_count)
+        ratio = r_count / s_count
+        observed = matrix.grid_competitive_ratio(machines)
+        if 1.0 / machines <= ratio <= machines:
+            assert observed <= GRID_SEMI_PERIMETER_BOUND + 1e-9
+        else:
+            # Beyond a factor-J ratio the (1, J) mapping is exactly optimal in
+            # the discrete sense but the continuous bound may be loose.
+            assert observed >= 1.0
+
+    def test_area_is_exactly_optimal_for_grid(self):
+        """Theorem 3.2: grid-layout region area attains the lower bound."""
+        matrix = JoinMatrix(r_count=123, s_count=456)
+        for machines in (4, 16, 64):
+            best = matrix.optimal_grid_mapping(machines)
+            assert matrix.region_area(best) == pytest.approx(matrix.area_lower_bound(machines))
+
+    def test_count_true_cells_matches_predicate(self):
+        matrix = JoinMatrix(r_count=3, s_count=3)
+        records = [{"v": i} for i in range(3)]
+        count = matrix.count_true_cells(records, records, NotEqualPredicate("v", "v"))
+        assert count == 6  # all off-diagonal cells
+
+
+class TestOkcanScheme:
+    def test_respects_theorem_3_1_bounds(self):
+        matrix = JoinMatrix(r_count=1000, s_count=1000)
+        scheme = OkcanSquareScheme(matrix=matrix, machines=16)
+        assert scheme.regions_used() <= 16
+        assert scheme.satisfies_theorem_3_1()
+
+    def test_grid_never_worse_than_okcan_semi_perimeter(self):
+        """Theorem 3.2 vs 3.1: the grid scheme's semi-perimeter is at most the
+        square scheme's (up to rounding) for skewed matrix shapes."""
+        matrix = JoinMatrix(r_count=100, s_count=6400)
+        grid = matrix.region_semi_perimeter(matrix.optimal_grid_mapping(64))
+        okcan = OkcanSquareScheme(matrix=matrix, machines=64).region_semi_perimeter()
+        assert grid <= okcan * 1.05
+
+    @given(st.integers(10, 5000), st.integers(10, 5000))
+    @settings(max_examples=80)
+    def test_okcan_uses_at_most_j_regions(self, r_count, s_count):
+        matrix = JoinMatrix(r_count=r_count, s_count=s_count)
+        scheme = OkcanSquareScheme(matrix=matrix, machines=32)
+        assert scheme.regions_used() <= 32
+
+
+class TestMappingSpectrum:
+    def test_sorted_by_ilf(self):
+        matrix = JoinMatrix(r_count=100, s_count=6400)
+        spectrum = mapping_spectrum(matrix, 64)
+        ilfs = [ilf for _, ilf in spectrum]
+        assert ilfs == sorted(ilfs)
+        assert spectrum[0][0] == Mapping(1, 64)
+        assert len(spectrum) == 7

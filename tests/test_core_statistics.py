@@ -1,0 +1,90 @@
+"""Tests for the decentralised statistics of Algorithm 1."""
+
+import random
+
+import pytest
+
+from repro.core.statistics import CardinalityEstimator
+
+
+class TestScaledEstimates:
+    def test_scaled_counts(self):
+        estimator = CardinalityEstimator(scale=16)
+        for _ in range(10):
+            estimator.observe(is_left=True)
+        for _ in range(40):
+            estimator.observe(is_left=False, size=2.0)
+        assert estimator.r_estimate == 160
+        assert estimator.s_estimate == 640
+        assert estimator.s_weighted_estimate == pytest.approx(1280.0)
+        assert estimator.ratio() == pytest.approx(0.25)
+
+    def test_exact_mode(self):
+        estimator = CardinalityEstimator(scale=1)
+        estimator.observe(True)
+        assert estimator.r_estimate == 1
+
+    def test_ratio_edge_cases(self):
+        estimator = CardinalityEstimator(scale=4)
+        assert estimator.ratio() == 1.0
+        estimator.observe(True)
+        assert estimator.ratio() == float("inf")
+
+    def test_reset(self):
+        estimator = CardinalityEstimator(scale=4)
+        estimator.observe(True)
+        estimator.reset()
+        assert estimator.r_estimate == 0
+
+
+class TestSamplingAccuracy:
+    def test_scaled_estimate_is_close_for_random_routing(self):
+        """A reshuffler seeing a 1/J random sample, scaled by J, estimates the
+        global cardinality to within a few percent for large streams."""
+        rng = random.Random(0)
+        machines = 16
+        estimators = [CardinalityEstimator(scale=machines) for _ in range(machines)]
+        total_r, total_s = 8000, 24000
+        for _ in range(total_r):
+            estimators[rng.randrange(machines)].observe(True)
+        for _ in range(total_s):
+            estimators[rng.randrange(machines)].observe(False)
+        controller = estimators[0]
+        assert controller.r_estimate == pytest.approx(total_r, rel=0.15)
+        assert controller.s_estimate == pytest.approx(total_s, rel=0.15)
+
+    def test_confidence_interval_brackets_truth_usually(self):
+        rng = random.Random(1)
+        machines = 8
+        hits = 0
+        trials = 30
+        for trial in range(trials):
+            estimator = CardinalityEstimator(scale=machines)
+            total = 4000
+            for _ in range(total):
+                if rng.randrange(machines) == 0:
+                    estimator.observe(True)
+            interval = estimator.confidence(is_left=True)
+            if interval.low <= total <= interval.high:
+                hits += 1
+        assert hits >= trials * 0.8
+
+    def test_confidence_degenerate_cases(self):
+        estimator = CardinalityEstimator(scale=1)
+        estimator.observe(True)
+        interval = estimator.confidence(True)
+        assert interval.half_width == 0.0
+        empty = CardinalityEstimator(scale=8).confidence(False)
+        assert empty.estimate == 0.0
+
+
+class TestMerge:
+    def test_merge_for_failover(self):
+        a = CardinalityEstimator(scale=4)
+        b = CardinalityEstimator(scale=4)
+        a.observe(True)
+        b.observe(False, size=3.0)
+        merged = a.merge(b)
+        assert merged.local_r == 1
+        assert merged.local_s == 1
+        assert merged.weighted_s == 3.0

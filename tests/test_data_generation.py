@@ -1,0 +1,169 @@
+"""Tests for the Zipf sampler, the TPC-H-like generator and the query builders."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import schema
+from repro.data.queries import available_queries, make_query
+from repro.data.skew import SKEW_LEVELS, ZipfSampler, skew_parameter, zipf_choice
+from repro.data.tpch import generate_dataset
+
+
+class TestZipfSampler:
+    def test_uniform_when_z_zero(self):
+        sampler = ZipfSampler(4, 0.0, random.Random(0))
+        counts = Counter(sampler.sample() for _ in range(8000))
+        for value in range(1, 5):
+            assert 0.2 < counts[value] / 8000 < 0.3
+
+    def test_skewed_distribution_prefers_small_values(self):
+        sampler = ZipfSampler(100, 1.0, random.Random(0))
+        counts = Counter(sampler.sample() for _ in range(5000))
+        assert counts[1] > counts.get(50, 0)
+        assert counts[1] > 0.1 * 5000  # value 1 takes a large share under z=1
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(20, 0.75)
+        total = sum(sampler.probability(value) for value in range(1, 21))
+        assert total == pytest.approx(1.0)
+        assert sampler.probability(0) == 0.0
+        assert sampler.probability(21) == 0.0
+
+    @given(st.integers(1, 200), st.floats(0.0, 1.5))
+    @settings(max_examples=80)
+    def test_samples_always_in_range(self, n, z):
+        sampler = ZipfSampler(n, z, random.Random(1))
+        for _ in range(20):
+            assert 1 <= sampler.sample() <= n
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.5)
+        with pytest.raises(ValueError):
+            ZipfSampler(5, -0.1)
+
+    def test_zipf_choice_and_labels(self):
+        rng = random.Random(0)
+        values = ["a", "b", "c"]
+        assert zipf_choice(values, 1.0, rng) in values
+        assert skew_parameter("Z3") == 0.75
+        assert skew_parameter(0.3) == 0.3
+        with pytest.raises(ValueError):
+            skew_parameter("Z9")
+        assert set(SKEW_LEVELS) == {"Z0", "Z1", "Z2", "Z3", "Z4"}
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = generate_dataset(scale=0.2, skew="Z2", seed=5)
+        b = generate_dataset(scale=0.2, skew="Z2", seed=5)
+        assert a.table("LINEITEM") == b.table("LINEITEM")
+        c = generate_dataset(scale=0.2, skew="Z2", seed=6)
+        assert a.table("LINEITEM") != c.table("LINEITEM")
+
+    def test_cardinalities_scale(self):
+        small = generate_dataset(scale=0.5, seed=1)
+        large = generate_dataset(scale=1.0, seed=1)
+        assert large.cardinality("LINEITEM") == pytest.approx(
+            2 * small.cardinality("LINEITEM"), rel=0.05
+        )
+        assert small.cardinality("REGION") == 5
+        assert small.cardinality("NATION") == 25
+
+    def test_relative_table_sizes(self):
+        dataset = generate_dataset(scale=1.0, seed=1)
+        assert dataset.cardinality("LINEITEM") == 4 * dataset.cardinality("ORDERS")
+        assert dataset.cardinality("ORDERS") > dataset.cardinality("SUPPLIER")
+
+    def test_schema_columns_present(self):
+        dataset = generate_dataset(scale=0.2, seed=1)
+        lineitem = dataset.table("LINEITEM")[0]
+        assert set(schema.LINEITEM_COLUMNS) <= set(lineitem)
+        supplier = dataset.table("SUPPLIER")[0]
+        assert set(schema.SUPPLIER_COLUMNS) <= set(supplier)
+
+    def test_foreign_keys_within_range(self):
+        dataset = generate_dataset(scale=0.2, seed=1)
+        supplier_count = dataset.cardinality("SUPPLIER")
+        orders_count = dataset.cardinality("ORDERS")
+        for item in dataset.table("LINEITEM"):
+            assert 1 <= item["suppkey"] <= supplier_count
+            assert 1 <= item["orderkey"] <= orders_count
+
+    def test_skew_concentrates_foreign_keys(self):
+        uniform = generate_dataset(scale=1.0, skew="Z0", seed=2)
+        skewed = generate_dataset(scale=1.0, skew="Z4", seed=2)
+
+        def top_share(dataset):
+            counts = Counter(item["suppkey"] for item in dataset.table("LINEITEM"))
+            return counts.most_common(1)[0][1] / dataset.cardinality("LINEITEM")
+
+        assert top_share(skewed) > 3 * top_share(uniform)
+
+
+class TestQueries:
+    def test_available_queries(self):
+        names = available_queries()
+        for expected in ("EQ5", "EQ7", "BCI", "BNCI", "FLUCT", "FLUCT_SYM", "THETA_NEQ"):
+            assert expected in names
+
+    def test_unknown_query_rejected(self, small_dataset):
+        with pytest.raises(ValueError):
+            make_query("EQ99", small_dataset)
+
+    def test_eq5_shape(self, small_dataset):
+        query = make_query("EQ5", small_dataset)
+        left, right = query.cardinalities
+        assert right == small_dataset.cardinality("LINEITEM")
+        assert 0 < left < small_dataset.cardinality("SUPPLIER") + 1
+        assert query.predicate.kind == "equi"
+        assert "EQ5" in query.summary()
+
+    def test_eq7_filters_two_nations(self, small_dataset):
+        query = make_query("EQ7", small_dataset)
+        assert query.left_records, "EQ7 supplier side must not be empty"
+        nations = {record["nation_name"] for record in query.left_records}
+        # The preferred Q7 pair (FRANCE, GERMANY) is used when populated;
+        # otherwise the builder falls back to the two largest nations.
+        assert len(nations) <= 2
+
+    def test_band_queries_have_single_side_filters_applied(self, small_dataset):
+        bci = make_query("BCI", small_dataset)
+        assert all(r["shipmode"] == "TRUCK" and r["quantity"] > 45 for r in bci.left_records)
+        assert all(r["shipmode"] != "TRUCK" for r in bci.right_records)
+        assert bci.predicate.kind == "band"
+        bnci = make_query("BNCI", small_dataset)
+        assert all(r["shipinstruct"] == "NONE" for r in bnci.right_records)
+
+    def test_bci_is_more_selective_than_bnci_in_output_rate(self, small_dataset):
+        """BCI (shipdate band) produces far more output per input pair than BNCI."""
+        from repro.joins.predicates import cross_join_reference
+
+        bci = make_query("BCI", small_dataset)
+        bnci = make_query("BNCI", small_dataset)
+        bci_matches = len(
+            cross_join_reference(bci.left_records, bci.right_records, bci.predicate)
+        )
+        bnci_matches = len(
+            cross_join_reference(bnci.left_records, bnci.right_records, bnci.predicate)
+        )
+        bci_rate = bci_matches / max(1, len(bci.left_records) * len(bci.right_records))
+        bnci_rate = bnci_matches / max(1, len(bnci.left_records) * len(bnci.right_records))
+        assert bci_rate > bnci_rate
+
+    def test_fluct_queries(self, small_dataset):
+        fluct = make_query("FLUCT", small_dataset)
+        assert all(
+            record["shippriority"] not in ("5-LOW", "1-URGENT") for record in fluct.left_records
+        )
+        sym = make_query("FLUCT_SYM", small_dataset)
+        left, right = sym.cardinalities
+        assert abs(left - right) <= max(left, right)  # comparable halves
+
+    def test_theta_query_kind(self, small_dataset):
+        query = make_query("THETA_NEQ", small_dataset)
+        assert query.predicate.kind == "theta"

@@ -1,0 +1,138 @@
+"""Tests for stream tuples, salts, interleavings and fluctuating orders."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.stream import (
+    ArrivalSchedule,
+    StreamTuple,
+    assign_salts,
+    fluctuating_order,
+    interleave_streams,
+    make_tuples,
+)
+
+
+def _tuples(relation, count, rng):
+    return make_tuples(relation, [{"k": i} for i in range(count)], rng)
+
+
+class TestStreamTuple:
+    def test_partition_respects_bounds(self):
+        item = StreamTuple(relation="R", record={}, salt=0.999999)
+        assert 0 <= item.partition(8) < 8
+
+    def test_partition_is_dyadically_consistent(self):
+        """floor(salt * n) must refine as n doubles and coarsen as n halves."""
+        item = StreamTuple(relation="R", record={}, salt=0.63)
+        for n in (1, 2, 4, 8, 16, 32):
+            coarse = item.partition(n)
+            fine = item.partition(2 * n)
+            assert fine // 2 == coarse
+
+    @given(st.floats(min_value=0.0, max_value=0.9999999), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=200)
+    def test_partition_dyadic_property(self, salt, levels):
+        item = StreamTuple(relation="R", record={}, salt=salt)
+        parts = [item.partition(2 ** level) for level in range(levels + 1)]
+        for coarse, fine in zip(parts, parts[1:]):
+            assert fine // 2 == coarse
+
+    def test_with_epoch_preserves_identity(self):
+        item = StreamTuple(relation="R", record={"a": 1}, salt=0.5)
+        tagged = item.with_epoch(3)
+        assert tagged.tuple_id == item.tuple_id
+        assert tagged.epoch == 3
+        assert tagged.record is item.record
+
+    def test_tuple_ids_are_unique(self):
+        items = [StreamTuple(relation="R", record={}) for _ in range(100)]
+        assert len({item.tuple_id for item in items}) == 100
+
+
+class TestInterleaving:
+    def test_uniform_contains_everything_exactly_once(self, rng):
+        left = _tuples("R", 20, rng)
+        right = _tuples("S", 30, rng)
+        order = interleave_streams(left, right, rng, pattern="uniform")
+        assert sorted(t.tuple_id for t in order) == sorted(
+            t.tuple_id for t in left + right
+        )
+
+    def test_r_first_and_s_first(self, rng):
+        left = _tuples("R", 5, rng)
+        right = _tuples("S", 5, rng)
+        assert [t.relation for t in interleave_streams(left, right, pattern="r_first")] == (
+            ["R"] * 5 + ["S"] * 5
+        )
+        assert [t.relation for t in interleave_streams(left, right, pattern="s_first")] == (
+            ["S"] * 5 + ["R"] * 5
+        )
+
+    def test_alternate_handles_uneven_lengths(self, rng):
+        left = _tuples("R", 2, rng)
+        right = _tuples("S", 5, rng)
+        order = interleave_streams(left, right, pattern="alternate")
+        assert len(order) == 7
+
+    def test_uniform_requires_rng(self, rng):
+        left = _tuples("R", 2, rng)
+        right = _tuples("S", 2, rng)
+        with pytest.raises(ValueError):
+            interleave_streams(left, right, None, pattern="uniform")
+
+    def test_unknown_pattern_rejected(self, rng):
+        with pytest.raises(ValueError):
+            interleave_streams([], [], rng, pattern="zigzag")
+
+
+class TestArrivalSchedule:
+    def test_arrival_times_are_spaced(self, rng):
+        items = _tuples("R", 4, rng)
+        schedule = ArrivalSchedule(items=items, inter_arrival=2.0)
+        times = [time for time, _ in schedule.arrivals()]
+        assert times == [0.0, 2.0, 4.0, 6.0]
+        assert len(schedule) == 4
+
+
+class TestSalts:
+    def test_assign_salts_in_unit_interval(self, rng):
+        items = [StreamTuple(relation="R", record={}) for _ in range(50)]
+        assign_salts(items, rng)
+        assert all(0.0 <= item.salt < 1.0 for item in items)
+
+    def test_salts_deterministic_for_seed(self):
+        a = make_tuples("R", [{"k": i} for i in range(10)], random.Random(3))
+        b = make_tuples("R", [{"k": i} for i in range(10)], random.Random(3))
+        assert [t.salt for t in a] == [t.salt for t in b]
+
+
+class TestFluctuatingOrder:
+    def test_contains_every_tuple_exactly_once(self, rng):
+        left = _tuples("R", 40, rng)
+        right = _tuples("S", 40, rng)
+        order = fluctuating_order(left, right, fluctuation_factor=2, warmup=10)
+        assert sorted(t.tuple_id for t in order) == sorted(t.tuple_id for t in left + right)
+
+    def test_ratio_actually_fluctuates(self, rng):
+        left = _tuples("R", 200, rng)
+        right = _tuples("S", 200, rng)
+        order = fluctuating_order(left, right, fluctuation_factor=4, warmup=20)
+        sent_r = sent_s = 0
+        ratios = []
+        for item in order:
+            if item.relation == "R":
+                sent_r += 1
+            else:
+                sent_s += 1
+            if sent_r and sent_s:
+                ratios.append(sent_r / sent_s)
+        assert max(ratios) > 2.0
+        assert min(ratios) < 0.51
+
+    def test_factor_must_exceed_one(self, rng):
+        with pytest.raises(ValueError):
+            fluctuating_order(_tuples("R", 2, rng), _tuples("S", 2, rng), fluctuation_factor=1)

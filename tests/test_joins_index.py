@@ -1,0 +1,120 @@
+"""Tests for the hash / ordered / scan join indexes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.stream import StreamTuple
+from repro.joins.index import HashIndex, OrderedIndex, ScanIndex, make_index
+
+
+def _tuple(relation, **record):
+    return StreamTuple(relation=relation, record=record)
+
+
+def _key(item):
+    return item.record["k"]
+
+
+class TestHashIndex:
+    def test_probe_exact(self):
+        index = HashIndex(_key)
+        a, b, c = _tuple("R", k=1), _tuple("R", k=1), _tuple("R", k=2)
+        for item in (a, b, c):
+            index.insert(item)
+        candidates, inspected = index.probe(1)
+        assert {t.tuple_id for t in candidates} == {a.tuple_id, b.tuple_id}
+        assert inspected == 2
+        assert len(index) == 3
+
+    def test_remove(self):
+        index = HashIndex(_key)
+        a = _tuple("R", k=1)
+        index.insert(a)
+        assert index.remove(a)
+        assert not index.remove(a)
+        assert len(index) == 0
+
+    def test_probe_missing_key(self):
+        index = HashIndex(_key)
+        candidates, inspected = index.probe(42)
+        assert candidates == [] and inspected == 0
+
+    def test_range_probe_falls_back_to_scan(self):
+        index = HashIndex(_key)
+        for value in range(10):
+            index.insert(_tuple("R", k=value))
+        candidates, inspected = index.probe_range(2, 4)
+        assert sorted(t.record["k"] for t in candidates) == [2, 3, 4]
+        assert inspected == 10
+
+
+class TestOrderedIndex:
+    def test_range_probe(self):
+        index = OrderedIndex(_key)
+        for value in [5, 1, 9, 3, 7]:
+            index.insert(_tuple("R", k=value))
+        candidates, _ = index.probe_range(3, 7)
+        assert sorted(t.record["k"] for t in candidates) == [3, 5, 7]
+
+    def test_exact_probe_and_duplicates(self):
+        index = OrderedIndex(_key)
+        items = [_tuple("R", k=4) for _ in range(3)]
+        for item in items:
+            index.insert(item)
+        candidates, _ = index.probe(4)
+        assert len(candidates) == 3
+
+    def test_remove_specific_duplicate(self):
+        index = OrderedIndex(_key)
+        a, b = _tuple("R", k=4), _tuple("R", k=4)
+        index.insert(a)
+        index.insert(b)
+        assert index.remove(a)
+        remaining = list(index.items())
+        assert [t.tuple_id for t in remaining] == [b.tuple_id]
+
+    @given(st.lists(st.integers(-100, 100), min_size=0, max_size=60),
+           st.integers(-100, 100), st.integers(0, 20))
+    @settings(max_examples=100)
+    def test_range_probe_matches_naive_filter(self, keys, low, width):
+        high = low + width
+        index = OrderedIndex(_key)
+        items = [_tuple("R", k=value) for value in keys]
+        for item in items:
+            index.insert(item)
+        candidates, _ = index.probe_range(low, high)
+        expected = sorted(t.tuple_id for t in items if low <= t.record["k"] <= high)
+        assert sorted(t.tuple_id for t in candidates) == expected
+
+
+class TestScanIndex:
+    def test_probe_returns_everything(self):
+        index = ScanIndex()
+        items = [_tuple("R", k=value) for value in range(5)]
+        for item in items:
+            index.insert(item)
+        candidates, inspected = index.probe(None)
+        assert len(candidates) == 5 and inspected == 5
+        candidates, _ = index.probe_range(0, 2)
+        assert len(candidates) == 5
+
+    def test_remove(self):
+        index = ScanIndex()
+        a = _tuple("R", k=1)
+        index.insert(a)
+        assert index.remove(a)
+        assert not index.remove(a)
+
+
+class TestFactory:
+    def test_make_index_dispatch(self):
+        assert isinstance(make_index("equi", _key), HashIndex)
+        assert isinstance(make_index("band", _key), OrderedIndex)
+        assert isinstance(make_index("theta", None), ScanIndex)
+
+    def test_indexed_kinds_require_key(self):
+        with pytest.raises(ValueError):
+            make_index("equi", None)
+        with pytest.raises(ValueError):
+            make_index("band", None)

@@ -1,0 +1,91 @@
+"""Tests for join predicates and the reference cross-join evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.predicates import (
+    BandPredicate,
+    CompositePredicate,
+    EquiPredicate,
+    NotEqualPredicate,
+    ThetaPredicate,
+    cross_join_reference,
+)
+
+
+class TestEquiPredicate:
+    def test_matches(self):
+        predicate = EquiPredicate("a", "b")
+        assert predicate.matches({"a": 3}, {"b": 3})
+        assert not predicate.matches({"a": 3}, {"b": 4})
+        assert predicate.kind == "equi"
+
+    def test_keys(self):
+        predicate = EquiPredicate("a", "b")
+        assert predicate.left_key({"a": 9}) == 9
+        assert predicate.right_key({"b": 8}) == 8
+
+    def test_describe(self):
+        assert "a = b" == EquiPredicate("a", "b").describe()
+
+
+class TestBandPredicate:
+    def test_matches_within_width(self):
+        predicate = BandPredicate("x", "y", width=2)
+        assert predicate.matches({"x": 5}, {"y": 7})
+        assert predicate.matches({"x": 5}, {"y": 3})
+        assert not predicate.matches({"x": 5}, {"y": 8})
+        assert predicate.kind == "band"
+
+    @given(st.integers(-50, 50), st.integers(-50, 50), st.integers(0, 10))
+    @settings(max_examples=100)
+    def test_symmetry(self, x, y, width):
+        predicate = BandPredicate("x", "y", width=width)
+        flipped = BandPredicate("x", "y", width=width)
+        assert predicate.matches({"x": x}, {"y": y}) == flipped.matches({"x": y}, {"y": x})
+
+
+class TestThetaAndComposite:
+    def test_theta_callable(self):
+        predicate = ThetaPredicate(lambda l, r: l["a"] < r["b"], name="a < b")
+        assert predicate.matches({"a": 1}, {"b": 2})
+        assert not predicate.matches({"a": 2}, {"b": 2})
+        assert predicate.describe() == "a < b"
+        assert predicate.kind == "theta"
+
+    def test_not_equal(self):
+        predicate = NotEqualPredicate("a", "a")
+        assert predicate.matches({"a": 1}, {"a": 2})
+        assert not predicate.matches({"a": 1}, {"a": 1})
+
+    def test_composite_inherits_kind_and_filters(self):
+        predicate = CompositePredicate(
+            primary=EquiPredicate("k", "k"),
+            residuals=[lambda l, r: l["v"] > 10],
+        )
+        assert predicate.kind == "equi"
+        assert predicate.matches({"k": 1, "v": 11}, {"k": 1})
+        assert not predicate.matches({"k": 1, "v": 5}, {"k": 1})
+        assert not predicate.matches({"k": 1, "v": 11}, {"k": 2})
+        assert predicate.left_key({"k": 4, "v": 0}) == 4
+
+    def test_composite_describe(self):
+        predicate = CompositePredicate(EquiPredicate("k", "k"), [lambda l, r: True])
+        assert "residual" in predicate.describe()
+        named = CompositePredicate(EquiPredicate("k", "k"), name="custom")
+        assert named.describe() == "custom"
+
+
+class TestCrossJoinReference:
+    def test_counts_matching_pairs(self):
+        left = [{"k": 1}, {"k": 2}]
+        right = [{"k": 2}, {"k": 2}, {"k": 3}]
+        matches = cross_join_reference(left, right, EquiPredicate("k", "k"))
+        assert matches == [(1, 0), (1, 1)]
+
+    def test_cross_product_upper_bound(self):
+        left = [{"k": i} for i in range(4)]
+        right = [{"k": i} for i in range(5)]
+        always = ThetaPredicate(lambda l, r: True)
+        assert len(cross_join_reference(left, right, always)) == 20

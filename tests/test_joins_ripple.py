@@ -1,0 +1,57 @@
+"""Tests for the block ripple join and its running estimates."""
+
+import random
+
+import pytest
+
+from repro.engine.stream import StreamTuple
+from repro.joins.predicates import EquiPredicate
+from repro.joins.ripple import RippleJoiner
+
+
+def _feed(joiner, left, right, rng):
+    order = left + right
+    rng.shuffle(order)
+    matched = 0
+    for item in order:
+        matches, _ = joiner.probe(item)
+        matched += len(matches)
+        joiner.insert(item)
+    return matched
+
+
+class TestRippleJoiner:
+    def test_joins_like_any_local_algorithm(self):
+        rng = random.Random(0)
+        predicate = EquiPredicate("k", "k")
+        left = [StreamTuple(relation="R", record={"k": i % 4}) for i in range(20)]
+        right = [StreamTuple(relation="S", record={"k": i % 4}) for i in range(20)]
+        joiner = RippleJoiner(predicate, "R", "S")
+        matched = _feed(joiner, left, right, rng)
+        expected = sum(
+            1 for l in left for r in right if l.record["k"] == r.record["k"]
+        )
+        assert matched == expected
+
+    def test_running_estimate_brackets_truth_for_uniform_keys(self):
+        rng = random.Random(1)
+        predicate = EquiPredicate("k", "k")
+        distinct = 10
+        left = [StreamTuple(relation="R", record={"k": rng.randrange(distinct)}) for _ in range(300)]
+        right = [StreamTuple(relation="S", record={"k": rng.randrange(distinct)}) for _ in range(300)]
+        joiner = RippleJoiner(predicate, "R", "S")
+        # Feed only half of each stream as the "sample".
+        _feed(joiner, left[:150], right[:150], rng)
+        estimate = joiner.running_estimate(total_left=len(left), total_right=len(right))
+        truth = sum(1 for l in left for r in right if l.record["k"] == r.record["k"])
+        assert estimate.low <= truth <= estimate.high or (
+            abs(estimate.estimate - truth) / truth < 0.5
+        )
+        assert estimate.sampled_left == 150
+        assert estimate.sampled_right == 150
+
+    def test_estimate_with_no_samples(self):
+        joiner = RippleJoiner(EquiPredicate("k", "k"), "R", "S")
+        estimate = joiner.running_estimate(100, 100)
+        assert estimate.estimate == 0.0
+        assert estimate.low == 0.0

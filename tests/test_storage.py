@@ -1,0 +1,77 @@
+"""Tests for the memory and spill tuple stores."""
+
+import pytest
+
+from repro.engine.stream import StreamTuple
+from repro.storage import MemoryStore, SpillStore
+
+
+def _tuples(relation, count, size=1.0):
+    return [StreamTuple(relation=relation, record={"i": i}, size=size) for i in range(count)]
+
+
+class TestMemoryStore:
+    def test_add_remove_and_size(self):
+        store = MemoryStore()
+        items = _tuples("R", 3, size=2.0)
+        for item in items:
+            store.add(item)
+        assert len(store) == 3
+        assert store.size == pytest.approx(6.0)
+        assert store.remove(items[0])
+        assert not store.remove(items[0])
+        assert store.size == pytest.approx(4.0)
+
+    def test_add_is_idempotent_per_tuple(self):
+        store = MemoryStore()
+        item = _tuples("R", 1)[0]
+        store.add(item)
+        store.add(item)
+        assert len(store) == 1
+
+    def test_iteration_by_relation(self):
+        store = MemoryStore()
+        for item in _tuples("R", 2) + _tuples("S", 3):
+            store.add(item)
+        assert store.count("R") == 2
+        assert store.count("S") == 3
+        assert len(list(store.tuples("S"))) == 3
+        assert len(list(store.tuples())) == 5
+
+    def test_contains_and_clear(self):
+        store = MemoryStore()
+        item = _tuples("R", 1)[0]
+        store.add(item)
+        assert store.contains(item)
+        store.clear()
+        assert not store.contains(item)
+        assert store.size == 0.0
+
+
+class TestSpillStore:
+    def test_spills_beyond_capacity(self):
+        store = SpillStore(capacity=2.0, penalty=7.0)
+        items = _tuples("R", 3)
+        assert store.add(items[0]) == 1.0
+        assert store.add(items[1]) == 1.0
+        assert store.add(items[2]) == 7.0       # over budget
+        assert store.is_spilled
+        assert store.spilled_size == pytest.approx(1.0)
+        assert store.access_factor() == 7.0
+        assert store.spill_events == 1
+
+    def test_unbounded_never_spills(self):
+        store = SpillStore(capacity=None)
+        for item in _tuples("R", 100):
+            assert store.add(item) == 1.0
+        assert not store.is_spilled
+        assert store.spilled_size == 0.0
+
+    def test_removal_can_unspill(self):
+        store = SpillStore(capacity=1.0)
+        items = _tuples("R", 2)
+        store.add(items[0])
+        store.add(items[1])
+        assert store.is_spilled
+        store.remove(items[1])
+        assert not store.is_spilled
