@@ -1,0 +1,18 @@
+"""Data-plane batching sweep — events/sec and tuples/sec per batch size."""
+
+from conftest import run_report
+
+from repro.bench.experiments import dataplane_batching
+
+
+def test_dataplane_batching(benchmark):
+    report = run_report(
+        benchmark, dataplane_batching, scale=0.4, machines=16, seed=1
+    )
+    by_batch = {row["batch_size"]: row for row in report.rows}
+    # Identical output regardless of batch size (also enforced by the driver).
+    outputs = {row["output_count"] for row in report.rows}
+    assert len(outputs) == 1
+    # The default batched plane must amortise >=5x the simulator events of the
+    # per-tuple path.
+    assert by_batch[1]["events_processed"] >= 5 * by_batch[64]["events_processed"]

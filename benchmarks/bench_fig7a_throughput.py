@@ -3,6 +3,7 @@
 from conftest import run_report
 
 from repro.bench.experiments import fig7a_throughput
+from repro.bench.harness import ExperimentConfig, build_query, run_single
 
 
 def test_fig7a_throughput(benchmark):
@@ -15,3 +16,28 @@ def test_fig7a_throughput(benchmark):
         assert by_key[(query, "Dynamic")] > by_key[(query, "SHJ")]
         assert by_key[(query, "Dynamic")] >= 0.4 * by_key[(query, "StaticOpt")]
     assert by_key[("BNCI", "Dynamic")] > by_key[("BNCI", "StaticMid")]
+
+
+def test_fig7a_batched_dataplane_efficiency():
+    """The operator-default batched data plane runs the fig7a workload with
+    >=5x fewer simulator events than the per-tuple plane, at identical output
+    counts per operator."""
+    totals = {}
+    outputs = {}
+    for batch_size in (1, None):  # None = operator default (batched)
+        config = ExperimentConfig(
+            machines=16, scale=0.4, skew="Z4", seed=1, batch_size=batch_size
+        )
+        query = build_query("EQ5", config)
+        events = 0
+        outs = {}
+        for kind in ("SHJ", "StaticMid", "Dynamic", "StaticOpt"):
+            result = run_single(kind, query, config)
+            events += result.events_processed
+            outs[kind] = result.output_count
+        totals[batch_size] = events
+        outputs[batch_size] = outs
+    assert outputs[1] == outputs[None]
+    assert totals[1] >= 5 * totals[None], (
+        f"expected >=5x fewer events, got {totals[1]} vs {totals[None]}"
+    )

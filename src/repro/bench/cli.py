@@ -29,6 +29,7 @@ DRIVERS: dict[str, Callable[..., experiments.ExperimentReport]] = {
     "fig7cd": experiments.fig7cd_mapping_sweep,
     "fig8ab": experiments.fig8ab_weak_scaling,
     "fig8cd": experiments.fig8cd_fluctuations,
+    "batching": experiments.dataplane_batching,
     "ablation-epsilon": experiments.ablation_epsilon,
     "ablation-migration": experiments.ablation_migration_strategy,
     "ablation-blocking": experiments.ablation_blocking,

@@ -13,6 +13,7 @@ roughly what factor, and where the crossovers fall.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.bench.harness import ExperimentConfig, build_query, run_single
@@ -468,6 +469,63 @@ def fig8cd_fluctuations(
     return ExperimentReport(
         name="fig8cd", rows=rows, series={**ratio_series, **progress_series}, text=text
     )
+
+
+# ---------------------------------------------------------------------------
+# Data-plane batching — micro-benchmark of the micro-batched message path
+# ---------------------------------------------------------------------------
+
+def dataplane_batching(
+    scale: float = 0.4,
+    machines: int = 16,
+    seed: int = 1,
+    batch_sizes: tuple[int, ...] = (1, 8, 64, 256),
+    query_name: str = "EQ5",
+    skew: str = "Z4",
+) -> ExperimentReport:
+    """Sweep the data-plane micro-batch size and report simulator efficiency.
+
+    For each ``batch_size`` the Dynamic operator runs the same workload; the
+    report gives the simulator events processed, the wall-clock time of the
+    run, and the derived events/sec and tuples/sec rates.  Output counts must
+    be identical across the sweep — batching is a transport optimisation.
+    """
+    config = ExperimentConfig(machines=machines, scale=scale, skew=skew, seed=seed)
+    query = build_query(query_name, config)
+    rows = []
+    baseline_outputs: int | None = None
+    for batch_size in batch_sizes:
+        config.batch_size = batch_size
+        start = time.perf_counter()
+        result = run_single("Dynamic", query, config)
+        wall = time.perf_counter() - start
+        if baseline_outputs is None:
+            baseline_outputs = result.output_count
+        elif result.output_count != baseline_outputs:
+            raise AssertionError(
+                f"batch_size={batch_size} changed the output count "
+                f"({result.output_count} != {baseline_outputs})"
+            )
+        tuples = len(query.left_records) + len(query.right_records)
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "events_processed": result.events_processed,
+                "wall_seconds": round(wall, 4),
+                "events_per_sec": round(result.events_processed / wall) if wall > 0 else 0,
+                "tuples_per_sec": round(tuples / wall) if wall > 0 else 0,
+                "output_count": result.output_count,
+                "migrations": result.migrations,
+            }
+        )
+    text = format_table(
+        rows,
+        title=(
+            f"Data-plane batching sweep — {query_name}@{skew}, "
+            f"{machines} joiners (Dynamic)"
+        ),
+    )
+    return ExperimentReport(name="dataplane_batching", rows=rows, text=text)
 
 
 # ---------------------------------------------------------------------------

@@ -40,7 +40,7 @@ class JoinerPhase(enum.Enum):
     DRAINED = "drained"      # all reshuffler signals received; HandleTuple2
 
 
-@dataclass
+@dataclass(slots=True)
 class TupleActions:
     """Everything a joiner task must do after the state machine handled a tuple.
 
@@ -72,6 +72,7 @@ _DELTA = "delta"
 _DELTA_PRIME = "delta_prime"
 _MU = "mu"
 _OLD_TAGS = (_TAU, _DELTA)
+_ALL_TAGS = (_TAU, _DELTA, _DELTA_PRIME, _MU)
 
 
 class EpochJoinerState:
@@ -139,9 +140,16 @@ class EpochJoinerState:
         tags: tuple[str, ...],
         require_keep: bool = False,
     ) -> None:
-        matches, work = self.store.probe(item, self._restrict(tags, require_keep))
+        # Every stored tuple carries one of the four tags, so the all-tags
+        # filter is a tautology — skip it on the hot NORMAL path.
+        if tags is _ALL_TAGS and not require_keep:
+            restrict = None
+        else:
+            restrict = self._restrict(tags, require_keep)
+        matches, work = self.store.probe(item, restrict)
         actions.probe_work += work
-        actions.matches.extend(self._oriented(item, match) for match in matches)
+        if matches:
+            actions.matches.extend(self._oriented(item, match) for match in matches)
 
     def _store(self, item: StreamTuple, tag: str, keep: bool | None = None) -> None:
         self.store.insert(item)
@@ -177,7 +185,7 @@ class EpochJoinerState:
                     f"tuple tagged with past epoch {item.epoch}"
                 )
             # Normal operation: join with everything stored, then store as τ.
-            self._join(item, actions, (_TAU, _DELTA, _DELTA_PRIME, _MU))
+            self._join(item, actions, _ALL_TAGS)
             self._store(item, _TAU)
             actions.stored = True
             return actions

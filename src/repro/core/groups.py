@@ -40,14 +40,24 @@ class MachineGroup:
     index: int
     machine_ids: tuple[int, ...]
     mapping: Mapping
+    _placement_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def size(self) -> int:
         return len(self.machine_ids)
 
     def placement(self) -> GridPlacement:
-        """Grid placement of this group's current mapping over its machines."""
-        return GridPlacement(mapping=self.mapping, machine_ids=self.machine_ids)
+        """Grid placement of this group's current mapping over its machines.
+
+        Memoised per mapping — route() asks for it once per tuple, and the
+        placement's own fan-out caches are only effective if it is reused.
+        """
+        key = (self.mapping.n, self.mapping.m)
+        placement = self._placement_cache.get(key)
+        if placement is None:
+            placement = GridPlacement(mapping=self.mapping, machine_ids=self.machine_ids)
+            self._placement_cache[key] = placement
+        return placement
 
 
 @dataclass

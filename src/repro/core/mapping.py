@@ -23,7 +23,7 @@ sibling pairs.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
 
@@ -162,6 +162,9 @@ class GridPlacement:
     mapping: Mapping
     machine_ids: tuple[int, ...] = ()
     layout: str = "dyadic"
+    # Memoised per-row/per-column fan-out lists (placement is immutable).
+    _row_fanout: dict = field(default_factory=dict, compare=False, repr=False)
+    _col_fanout: dict = field(default_factory=dict, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.mapping.n) or not is_power_of_two(self.mapping.m):
@@ -209,13 +212,24 @@ class GridPlacement:
 
     # ------------------------------------------------------------- fan-out
 
-    def machines_for_row(self, row: int) -> list[int]:
-        """Machines storing left-relation partition ``row`` (one per column)."""
-        return [self.machine_at(row, col) for col in range(self.mapping.m)]
+    def machines_for_row(self, row: int) -> tuple[int, ...]:
+        """Machines storing left-relation partition ``row`` (one per column).
 
-    def machines_for_col(self, col: int) -> list[int]:
+        Memoised: the reshufflers call this once per routed tuple.
+        """
+        cached = self._row_fanout.get(row)
+        if cached is None:
+            cached = tuple(self.machine_at(row, col) for col in range(self.mapping.m))
+            self._row_fanout[row] = cached
+        return cached
+
+    def machines_for_col(self, col: int) -> tuple[int, ...]:
         """Machines storing right-relation partition ``col`` (one per row)."""
-        return [self.machine_at(row, col) for row in range(self.mapping.n)]
+        cached = self._col_fanout.get(col)
+        if cached is None:
+            cached = tuple(self.machine_at(row, col) for row in range(self.mapping.n))
+            self._col_fanout[col] = cached
+        return cached
 
     def cells(self) -> Iterator[tuple[int, tuple[int, int]]]:
         """Iterate over ``(machine_id, (row, col))`` for every cell."""

@@ -139,6 +139,9 @@ class MigrationPlan:
     old_assignments: dict[int, StateAssignment]
     new_assignments: dict[int, StateAssignment]
     transfers: list[TransferInstruction] = field(default_factory=list)
+    # Lazily grouped transfers per (sender, side): destinations_for runs once
+    # per stored tuple during a migration, so the full-list scan is too hot.
+    _outgoing_by_side: dict = field(default_factory=dict, compare=False, repr=False)
 
     # ------------------------------------------------------------- structure
 
@@ -169,11 +172,12 @@ class MigrationPlan:
 
     def destinations_for(self, machine_id: int, side: str, salt: float) -> list[int]:
         """Receivers to which ``machine_id`` must forward a stored tuple."""
-        return [
-            t.receiver
-            for t in self.transfers
-            if t.sender == machine_id and t.side == side and t.covers(salt)
-        ]
+        key = (machine_id, side)
+        group = self._outgoing_by_side.get(key)
+        if group is None:
+            group = [t for t in self.transfers if t.sender == machine_id and t.side == side]
+            self._outgoing_by_side[key] = group
+        return [t.receiver for t in group if t.covers(salt)]
 
     # ------------------------------------------------------ volume estimates
 

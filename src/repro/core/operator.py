@@ -28,6 +28,12 @@ from repro.engine.machine import CostModel
 from repro.engine.simulator import Simulator
 from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams, make_tuples
 
+#: Default micro-batch size of the batched data plane.  Chosen so that scale-up
+#: runs are dominated by operator logic rather than per-event simulator
+#: overhead, while batches stay small relative to the per-joiner input share.
+#: ``batch_size=1`` selects the legacy per-tuple message path.
+DEFAULT_BATCH_SIZE = 64
+
 
 class GridJoinOperator:
     """Base class: a parallel join operator over a grid-partitioned cluster.
@@ -51,6 +57,9 @@ class GridJoinOperator:
         blocking: model the blocking actuation protocol instead of Alg. 3.
         memory_capacity: per-machine storage budget; ``None`` = unbounded.
         sample_every: controller sampling period for ILF/ratio time series.
+        batch_size: micro-batch size of the data plane.  ``None`` selects
+            :data:`DEFAULT_BATCH_SIZE`; ``1`` reproduces the per-tuple
+            message-per-event behaviour event-for-event.
     """
 
     operator_name = "Grid"
@@ -69,6 +78,7 @@ class GridJoinOperator:
         blocking: bool = False,
         memory_capacity: float | None = None,
         sample_every: int = 200,
+        batch_size: int | None = None,
     ) -> None:
         if not is_power_of_two(machines):
             raise ValueError(
@@ -86,6 +96,9 @@ class GridJoinOperator:
         self.layout = layout
         self.blocking = blocking
         self.sample_every = sample_every
+        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
 
     # ------------------------------------------------------------------ build
 
@@ -136,6 +149,7 @@ class GridJoinOperator:
                     blocking=self.blocking,
                     sample_every=self.sample_every,
                     expected_inputs=expected_inputs,
+                    batch_size=self.batch_size,
                 )
             )
             tasks.append(
@@ -143,6 +157,7 @@ class GridJoinOperator:
                     name=topology.joiner_names[machine_id],
                     machine_id=machine_id,
                     topology=topology,
+                    batch_size=self.batch_size,
                 )
             )
         return tasks
@@ -208,7 +223,9 @@ class GridJoinOperator:
         reshuffler_names = topology.reshuffler_names
         schedule = ArrivalSchedule(items=order, inter_arrival=inter_arrival)
         simulator.feed_schedule(
-            schedule, destination_picker=lambda _item: rng.choice(reshuffler_names)
+            schedule,
+            destination_picker=lambda _item: rng.choice(reshuffler_names),
+            batch_size=self.batch_size,
         )
         simulator.run(max_events=max_events)
         return self._collect_result(simulator, topology, expected_inputs)
@@ -221,15 +238,6 @@ class GridJoinOperator:
         metrics = simulator.metrics
         controller_task = simulator.tasks[topology.controller_name]
         final_mapping = controller_task.mapping
-
-        total = max(expected_inputs, 1)
-        progress = [
-            (count / total, time)
-            for count, time in metrics.progress_times[:: max(1, len(metrics.progress_times) // 200)]
-        ]
-        ilf_series = [
-            (min(1.0, count / total), value) for count, value in _indexed(metrics.ilf_series)
-        ]
         return RunResult(
             operator=self.operator_name,
             query=self.query.name,
@@ -249,22 +257,14 @@ class GridJoinOperator:
             spilled=simulator.any_spilled(),
             max_competitive_ratio=metrics.max_competitive_ratio(),
             final_mapping=final_mapping,
-            ilf_series=ilf_series,
+            events_processed=simulator.events_processed,
+            batch_size=self.batch_size,
+            ilf_series=metrics.ilf_fraction_series(expected_inputs),
             ratio_series=list(metrics.ratio_series),
             cardinality_series=list(metrics.competitive_series),
-            progress_series=progress,
+            progress_series=metrics.progress_fraction_series(expected_inputs),
             outputs=list(metrics.outputs) if metrics.collect_outputs else None,
         )
-
-
-def _indexed(series: list[tuple[float, float]]) -> list[tuple[float, float]]:
-    """Convert an ILF series sampled on controller ticks into per-sample points.
-
-    The controller records a sample every ``sample_every`` of *its own* tuples;
-    the x coordinate it stored is the global processed count at that moment,
-    so the series is already indexed by processed tuples.
-    """
-    return series
 
 
 class AdaptiveJoinOperator(GridJoinOperator):

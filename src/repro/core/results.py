@@ -33,6 +33,9 @@ class RunResult:
         spilled: whether any machine exceeded its memory budget.
         max_competitive_ratio: largest observed ILF/ILF* ratio (Fig. 8c).
         final_mapping: the (n, m) mapping in force when the run ended.
+        events_processed: simulator handler invocations during the run — the
+            data-plane overhead a larger batch size amortises away.
+        batch_size: micro-batch size the run used (1 = per-tuple data plane).
         ilf_series: (fraction of input processed, max per-machine ILF) samples.
         ratio_series: (tuples processed, ILF/ILF*) samples.
         cardinality_series: (tuples processed, |R|/|S|) samples.
@@ -59,6 +62,8 @@ class RunResult:
     spilled: bool
     max_competitive_ratio: float
     final_mapping: Mapping
+    events_processed: int = 0
+    batch_size: int = 1
     ilf_series: list[tuple[float, float]] = field(default_factory=list)
     ratio_series: list[tuple[int, float]] = field(default_factory=list)
     cardinality_series: list[tuple[int, float]] = field(default_factory=list)
@@ -81,4 +86,5 @@ class RunResult:
             "migrations": self.migrations,
             "spilled": self.spilled,
             "final_mapping": str(self.final_mapping),
+            "events_processed": self.events_processed,
         }

@@ -17,10 +17,47 @@ from repro.core.epochs import EpochJoinerState, JoinerPhase, TupleActions
 from repro.core.mapping import GridPlacement, Mapping
 from repro.core.migration import MigrationPlan, plan_migration
 from repro.engine.network import TrafficCategory
-from repro.engine.stream import StreamTuple
+from repro.engine.stream import StreamTuple, TupleBatch
 from repro.engine.task import Context, Message, MessageKind, Task
 from repro.joins.local import make_local_joiner
 from repro.joins.predicates import JoinPredicate
+
+#: Per-destination send groups accumulated while one handler invocation
+#: processes a micro-batch.  Reshufflers key groups by (machine, epoch) so a
+#: batch is split at the epoch edge; joiner migration groups key by machine.
+RouteGroups = dict[tuple[int, int], list[StreamTuple]]
+
+
+def _envelope(
+    items: list[StreamTuple],
+    inner: MessageKind,
+    sender: str,
+    epoch: int = 0,
+    meta: dict | None = None,
+) -> Message:
+    """Wrap grouped tuples for one destination: a plain per-tuple message for
+    a singleton, a BATCH carrying a :class:`TupleBatch` otherwise."""
+    if len(items) == 1:
+        return Message(
+            kind=inner,
+            sender=sender,
+            payload=items[0],
+            epoch=epoch,
+            size=items[0].size,
+            meta=dict(meta) if meta else {},
+        )
+    batch = TupleBatch(items=items)
+    full_meta = {"inner": inner}
+    if meta:
+        full_meta.update(meta)
+    return Message(
+        kind=MessageKind.BATCH,
+        sender=sender,
+        payload=batch,
+        epoch=epoch,
+        size=batch.size,
+        meta=full_meta,
+    )
 
 
 @dataclass
@@ -88,6 +125,8 @@ class ReshufflerTask(Task):
         sample_every: record ILF / ratio samples every this many tuples seen
             by this task (controller only).
         expected_inputs: total number of input tuples (for progress metrics).
+        batch_size: size of the micro-batches of the batched data plane;
+            ``1`` selects the legacy per-tuple message path.
     """
 
     def __init__(
@@ -101,6 +140,7 @@ class ReshufflerTask(Task):
         blocking: bool = False,
         sample_every: int = 200,
         expected_inputs: int = 0,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(name, machine_id)
         self.topology = topology
@@ -110,6 +150,7 @@ class ReshufflerTask(Task):
         self.blocking = blocking
         self.sample_every = max(1, sample_every)
         self.expected_inputs = expected_inputs
+        self.batch_size = max(1, batch_size)
 
         self.epoch = 0
         self.migration_in_flight = False
@@ -125,7 +166,9 @@ class ReshufflerTask(Task):
         return self.controller is not None
 
     def handle(self, message: Message, ctx: Context) -> None:
-        if message.kind is MessageKind.SOURCE:
+        if message.kind is MessageKind.BATCH:
+            self._handle_source_batch(message, ctx)
+        elif message.kind is MessageKind.SOURCE:
             self._handle_source(message.payload, ctx)
         elif message.kind is MessageKind.MAPPING_CHANGE:
             self._handle_mapping_change(message, ctx)
@@ -136,14 +179,29 @@ class ReshufflerTask(Task):
         else:
             raise ValueError(f"reshuffler {self.name} cannot handle {message.kind}")
 
-    def _handle_source(self, item: StreamTuple, ctx: Context) -> None:
+    def _handle_source_batch(self, message: Message, ctx: Context) -> None:
+        if message.meta.get("inner") is not MessageKind.SOURCE:
+            raise ValueError(
+                f"reshuffler {self.name} can only handle SOURCE batches, "
+                f"got inner kind {message.meta.get('inner')}"
+            )
+        routes: RouteGroups = {}
+        for item in message.payload:
+            self._handle_source(item, ctx, routes)
+        self._flush_routes(routes, ctx)
+
+    def _handle_source(
+        self, item: StreamTuple, ctx: Context, routes: RouteGroups | None = None
+    ) -> None:
         ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
         if self.blocking and self.buffering:
             self._buffer.append(item)
             return
-        self._process_tuple(item, ctx)
+        self._process_tuple(item, ctx, routes)
 
-    def _process_tuple(self, item: StreamTuple, ctx: Context) -> None:
+    def _process_tuple(
+        self, item: StreamTuple, ctx: Context, routes: RouteGroups | None = None
+    ) -> None:
         is_left = item.relation == self.topology.left_relation
         self._seen += 1
         ctx.metrics.record_input_processed(ctx.now)
@@ -151,7 +209,7 @@ class ReshufflerTask(Task):
         if self.is_controller:
             self._controller_duties(item, is_left, ctx)
 
-        self._route(item, is_left, ctx)
+        self._route(item, is_left, ctx, routes)
 
     def _controller_duties(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
         assert self.controller is not None
@@ -246,13 +304,22 @@ class ReshufflerTask(Task):
     def _handle_resume(self, ctx: Context) -> None:
         self.buffering = False
         pending, self._buffer = self._buffer, []
+        routes: RouteGroups | None = {} if self.batch_size > 1 else None
         for item in pending:
             ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
-            self._process_tuple(item, ctx)
+            self._process_tuple(item, ctx, routes)
+        if routes is not None:
+            self._flush_routes(routes, ctx)
 
     # ---------------------------------------------------------------- routing
 
-    def _route(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
+    def _route(
+        self,
+        item: StreamTuple,
+        is_left: bool,
+        ctx: Context,
+        routes: RouteGroups | None = None,
+    ) -> None:
         placement = self.topology.placement(self.mapping)
         tagged = item.with_epoch(self.epoch)
         if is_left:
@@ -261,6 +328,10 @@ class ReshufflerTask(Task):
         else:
             col = item.partition(self.mapping.m)
             destinations = placement.machines_for_col(col)
+        if routes is not None:
+            for machine_id in destinations:
+                routes.setdefault((machine_id, self.epoch), []).append(tagged)
+            return
         for machine_id in destinations:
             ctx.send(
                 self.topology.joiner(machine_id),
@@ -271,6 +342,20 @@ class ReshufflerTask(Task):
                     epoch=self.epoch,
                     size=item.size,
                 ),
+                category=TrafficCategory.ROUTING,
+            )
+
+    def _flush_routes(self, routes: RouteGroups, ctx: Context) -> None:
+        """Send the per-(joiner, epoch) groups gathered from one micro-batch.
+
+        Grouping by epoch as well as destination means a mapping change
+        arriving mid-stream splits batches at the epoch edge, so every BATCH
+        message carries a single, exact epoch tag for the protocol.
+        """
+        for (machine_id, epoch), items in routes.items():
+            ctx.send(
+                self.topology.joiner(machine_id),
+                _envelope(items, MessageKind.DATA, self.name, epoch=epoch),
                 category=TrafficCategory.ROUTING,
             )
 
@@ -285,7 +370,13 @@ class HashReshufflerTask(ReshufflerTask):
     is skewed.
     """
 
-    def _route(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
+    def _route(
+        self,
+        item: StreamTuple,
+        is_left: bool,
+        ctx: Context,
+        routes: RouteGroups | None = None,
+    ) -> None:
         predicate = self.topology.predicate
         if predicate.kind != "equi":
             raise ValueError("the SHJ operator only supports equi-join predicates")
@@ -293,12 +384,16 @@ class HashReshufflerTask(ReshufflerTask):
             predicate.left_key(item.record) if is_left else predicate.right_key(item.record)
         )
         machine_id = hash(key) % self.topology.machines
+        tagged = item.with_epoch(self.epoch)
+        if routes is not None:
+            routes.setdefault((machine_id, self.epoch), []).append(tagged)
+            return
         ctx.send(
             self.topology.joiner(machine_id),
             Message(
                 kind=MessageKind.DATA,
                 sender=self.name,
-                payload=item.with_epoch(self.epoch),
+                payload=tagged,
                 epoch=self.epoch,
                 size=item.size,
             ),
@@ -315,6 +410,7 @@ class JoinerTask(Task):
         machine_id: int,
         topology: Topology,
         migration_rate_factor: float = 2.0,
+        batch_size: int = 1,
     ) -> None:
         super().__init__(name, machine_id)
         self.topology = topology
@@ -328,12 +424,15 @@ class JoinerTask(Task):
             left_relation=topology.left_relation,
         )
         self.migration_rate_factor = migration_rate_factor
+        self.batch_size = max(1, batch_size)
         self._ends_sent_for: int | None = None
 
     # -------------------------------------------------------------- handling
 
     def handle(self, message: Message, ctx: Context) -> None:
-        if message.kind is MessageKind.DATA:
+        if message.kind is MessageKind.BATCH:
+            self._handle_batch(message, ctx)
+        elif message.kind is MessageKind.DATA:
             actions = self.state.handle_data(message.payload)
             self._apply(actions, message.payload, ctx, migrated=False)
         elif message.kind is MessageKind.MIGRATION:
@@ -348,6 +447,33 @@ class JoinerTask(Task):
         else:
             raise ValueError(f"joiner {self.name} cannot handle {message.kind}")
 
+    def _handle_batch(self, message: Message, ctx: Context) -> None:
+        """Process every member of a routed or migrated micro-batch.
+
+        Members are handled in order within one simulator event; costs are
+        charged per tuple, so outputs emitted by later members carry the
+        cumulative charge of earlier ones (per-tuple cost attribution).
+        Relocations produced along the way are regrouped per destination and
+        flushed as batches at the end of the invocation.
+        """
+        inner = message.meta.get("inner")
+        sink: RouteGroups = {}
+        apply = self._apply
+        if inner is MessageKind.DATA:
+            handle_data = self.state.handle_data
+            for item in message.payload:
+                apply(handle_data(item), item, ctx, migrated=False, sink=sink)
+        elif inner is MessageKind.MIGRATION:
+            handle_migrated = self.state.handle_migrated
+            for item in message.payload:
+                apply(handle_migrated(item), item, ctx, migrated=True, sink=sink)
+        else:
+            raise ValueError(
+                f"joiner {self.name} can only handle DATA or MIGRATION batches, "
+                f"got inner kind {inner}"
+            )
+        self._flush_migrations(sink, ctx)
+
     def _handle_signal(self, message: Message, ctx: Context) -> None:
         epoch = message.meta["epoch"]
         new_mapping = Mapping(*message.meta["new_mapping"])
@@ -355,9 +481,14 @@ class JoinerTask(Task):
         plan = self.topology.plan(old_mapping, new_mapping)
         migrations, replayed = self.state.handle_signal(epoch, plan, reshuffler=message.sender)
         ctx.charge(0.01)
-        self._send_migrations(migrations, ctx)
+        sink: RouteGroups | None = {} if self.batch_size > 1 else None
+        self._send_migrations(migrations, ctx, sink)
         for replayed_item, actions in replayed:
-            self._apply(actions, replayed_item, ctx, migrated=False, charge_receive=False)
+            self._apply(actions, replayed_item, ctx, migrated=False, charge_receive=False, sink=sink)
+        if sink is not None:
+            # Flush relocations before any MIGRATION_END below: link FIFO then
+            # guarantees receivers see every migrated tuple before the marker.
+            self._flush_migrations(sink, ctx)
         if self.state.phase is JoinerPhase.DRAINED and self._ends_sent_for != epoch:
             self._ends_sent_for = epoch
             for receiver in plan.receivers_from(self.machine_id):
@@ -394,12 +525,18 @@ class JoinerTask(Task):
     # -------------------------------------------------------------- internals
 
     def _send_migrations(
-        self, migrations: list[tuple[int, StreamTuple]], ctx: Context
+        self,
+        migrations: list[tuple[int, StreamTuple]],
+        ctx: Context,
+        sink: RouteGroups | None = None,
     ) -> None:
         cost_model = ctx.machine.cost_model if ctx.machine else None
         for destination, item in migrations:
             if cost_model is not None:
                 ctx.charge(cost_model.reshuffle_cost)
+            if sink is not None:
+                sink.setdefault((destination, 0), []).append(item)
+                continue
             ctx.send(
                 self.topology.joiner(destination),
                 Message(
@@ -412,6 +549,22 @@ class JoinerTask(Task):
                 category=TrafficCategory.MIGRATION,
             )
 
+    def _flush_migrations(self, sink: RouteGroups, ctx: Context) -> None:
+        """Send relocations gathered during one handler invocation, batched
+        per destination joiner (the epoch component of the key is unused —
+        µ tuples are interpreted via the receiver's migration plan)."""
+        for (destination, _epoch), items in sink.items():
+            ctx.send(
+                self.topology.joiner(destination),
+                _envelope(
+                    items,
+                    MessageKind.MIGRATION,
+                    self.name,
+                    meta={"sender_machine": self.machine_id},
+                ),
+                category=TrafficCategory.MIGRATION,
+            )
+
     def _apply(
         self,
         actions: TupleActions,
@@ -419,6 +572,7 @@ class JoinerTask(Task):
         ctx: Context,
         migrated: bool,
         charge_receive: bool = True,
+        sink: RouteGroups | None = None,
     ) -> None:
         machine = ctx.machine
         cost_model = machine.cost_model if machine else None
@@ -437,6 +591,8 @@ class JoinerTask(Task):
             ctx.charge(cost)
             if actions.stored and item is not None:
                 machine.add_stored(item.size)
-        for left, right in actions.matches:
-            ctx.emit_output(left, right)
-        self._send_migrations(actions.migrate_to, ctx)
+        if actions.matches:
+            for left, right in actions.matches:
+                ctx.emit_output(left, right)
+        if actions.migrate_to:
+            self._send_migrations(actions.migrate_to, ctx, sink)

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from repro.engine.stream import StreamTuple
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencySample:
     """Latency of one output tuple."""
 
@@ -112,6 +112,31 @@ class MetricsCollector:
             if event.epoch == epoch and event.completed_at is None:
                 event.completed_at = now
                 return
+
+    # ------------------------------------------------------- derived series
+
+    def progress_fraction_series(
+        self, total_inputs: int, max_points: int = 200
+    ) -> list[tuple[float, float]]:
+        """The progress series as (fraction of input processed, virtual time).
+
+        The raw ``progress_times`` series has one point per input tuple;
+        it is downsampled to at most ~``max_points`` evenly spaced points so
+        results stay small on large runs.
+        """
+        total = max(total_inputs, 1)
+        step = max(1, len(self.progress_times) // max_points)
+        return [(count / total, time) for count, time in self.progress_times[::step]]
+
+    def ilf_fraction_series(self, total_inputs: int) -> list[tuple[float, float]]:
+        """The ILF series re-indexed by fraction of input processed.
+
+        The controller samples every ``sample_every`` of *its own* tuples and
+        stores the global processed count as the x coordinate, so this only
+        rescales x to a fraction (clamped at 1.0 for late samples).
+        """
+        total = max(total_inputs, 1)
+        return [(min(1.0, count / total), value) for count, value in self.ilf_series]
 
     # ------------------------------------------------------------ summaries
 

@@ -35,7 +35,7 @@ from typing import Iterable
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import MetricsCollector
 from repro.engine.network import Network, TrafficCategory
-from repro.engine.stream import ArrivalSchedule, StreamTuple
+from repro.engine.stream import ArrivalSchedule, StreamTuple, TupleBatch
 from repro.engine.task import Context, Message, MessageKind, Task
 
 #: Control-plane message kinds that are not queued behind the data backlog.
@@ -44,7 +44,7 @@ PRIORITY_KINDS = frozenset(
 )
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A pending simulation event, ordered by (time, sequence number)."""
 
@@ -100,6 +100,9 @@ class Simulator:
                 f"task {task.name} placed on machine {task.machine_id} "
                 f"but the cluster has only {len(self.machines)} machines"
             )
+        task.hosted_machine = (
+            self.machines[task.machine_id] if task.machine_id >= 0 else None
+        )
         self.tasks[task.name] = task
         return task
 
@@ -110,10 +113,7 @@ class Simulator:
 
     def machine_of(self, task_name: str) -> Machine | None:
         """The machine hosting ``task_name`` (None for off-cluster tasks)."""
-        task = self.tasks[task_name]
-        if task.machine_id < 0:
-            return None
-        return self.machines[task.machine_id]
+        return self.tasks[task_name].hosted_machine
 
     # ------------------------------------------------------------- scheduling
 
@@ -132,7 +132,9 @@ class Simulator:
             Event(time, next(self._sequence), "tick", machine_id=machine_id),
         )
 
-    def feed_schedule(self, schedule: ArrivalSchedule, destination_picker) -> None:
+    def feed_schedule(
+        self, schedule: ArrivalSchedule, destination_picker, batch_size: int = 1
+    ) -> None:
         """Feed an arrival schedule into the topology.
 
         Args:
@@ -140,7 +142,25 @@ class Simulator:
             destination_picker: callable ``tuple -> task name`` choosing the
                 reshuffler each tuple is sent to (the paper routes incoming
                 tuples to a random reshuffler).
+            batch_size: with ``batch_size=1`` (the legacy data plane) every
+                tuple becomes one SOURCE message; larger values coalesce up to
+                ``batch_size`` consecutive same-destination arrivals into one
+                BATCH message.  The picker is still called once per tuple in
+                arrival order, so routing decisions are identical either way.
         """
+        if batch_size > 1:
+            for emit_time, destination, batch in schedule.batched_arrivals(
+                batch_size, destination_picker
+            ):
+                message = Message(
+                    kind=MessageKind.BATCH,
+                    sender="__source__",
+                    payload=batch,
+                    size=batch.size,
+                    meta={"inner": MessageKind.SOURCE},
+                )
+                self.schedule(emit_time, destination, message)
+            return
         for arrival_time, item in schedule.arrivals():
             item.arrival_time = arrival_time
             message = Message(
@@ -168,8 +188,9 @@ class Simulator:
         if sender_machine < 0 or dest_machine < 0:
             delivery = departure + self.cost_model.network_latency
         else:
+            units = len(message.payload) if isinstance(message.payload, TupleBatch) else 1
             delivery = self.network.transfer(
-                sender_machine, dest_machine, message.size, category, departure
+                sender_machine, dest_machine, message.size, category, departure, units=units
             )
         self.schedule(delivery, destination, message)
 
@@ -182,20 +203,21 @@ class Simulator:
             self._started.add(task.name)
             task.on_start(ctx)
         task.handle(message, ctx)
-        machine = self.machine_of(task.name)
+        machine = task.hosted_machine
         if machine is not None and ctx.charged > 0:
             machine.occupy(start, ctx.charged)
         self.events_processed += 1
 
     def _deliver(self, event: Event) -> None:
         task = self.tasks[event.destination]
-        machine = self.machine_of(task.name)
+        machine = task.hosted_machine
         message = event.message
         assert message is not None
         if machine is None or message.kind in PRIORITY_KINDS:
-            # Off-cluster tasks and control-plane messages are handled at
-            # delivery time; control work still occupies the machine.
-            start = event.time if machine is None else max(event.time, event.time)
+            # Off-cluster tasks are handled at delivery time.  Control-plane
+            # messages skip the data backlog but still need the CPU: they start
+            # once the machine finishes the handler it is currently running.
+            start = event.time if machine is None else max(event.time, machine.busy_until)
             self._execute(task, message, start)
             return
         inbox = self._inboxes[machine.machine_id]

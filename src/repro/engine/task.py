@@ -31,6 +31,7 @@ class MessageKind(enum.Enum):
     DATA = "data"                      # a stream tuple routed to a joiner
     SOURCE = "source"                  # a stream tuple arriving at a reshuffler
     MIGRATION = "migration"            # a relocated tuple during migration
+    BATCH = "batch"                    # a TupleBatch; meta["inner"] is the member kind
     MIGRATION_END = "migration_end"    # sender finished relocating state to receiver
     MAPPING_CHANGE = "mapping_change"  # controller -> reshufflers: new mapping/epoch
     EPOCH_SIGNAL = "epoch_signal"      # reshuffler -> joiners: epoch change notice
@@ -39,19 +40,22 @@ class MessageKind(enum.Enum):
     FLUSH = "flush"                    # end-of-stream marker
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A message in flight between two tasks.
 
     Attributes:
         kind: message type.
         sender: name of the sending task.
-        payload: a :class:`StreamTuple` for data/migration messages, or an
+        payload: a :class:`StreamTuple` for data/migration messages, a
+            :class:`~repro.engine.stream.TupleBatch` for BATCH messages, or an
             arbitrary structure for control messages.
         epoch: epoch tag (meaningful for data, migration and control traffic).
-        size: size units used for network accounting.
+        size: size units used for network accounting.  For BATCH messages this
+            is the sum of the member sizes, so volume accounting stays exact.
         meta: extra key/value context (e.g. the new mapping of a
-            MAPPING_CHANGE message).
+            MAPPING_CHANGE message, or ``"inner"`` — the per-member
+            :class:`MessageKind` — of a BATCH message).
     """
 
     kind: MessageKind
@@ -69,6 +73,8 @@ class Context:
     machine and send messages to other tasks, and gives access to the shared
     metrics collector.
     """
+
+    __slots__ = ("_simulator", "_task", "now", "charged")
 
     def __init__(self, simulator: "Simulator", task: "Task", now: float) -> None:
         self._simulator = simulator
@@ -89,7 +95,7 @@ class Context:
     @property
     def machine(self):
         """The machine hosting the current task (None for off-cluster tasks)."""
-        return self._simulator.machine_of(self._task.name)
+        return self._task.hosted_machine
 
     def cluster_peak_stored(self) -> float:
         """Largest peak per-machine stored size observed so far (measured ILF)."""
@@ -141,6 +147,9 @@ class Task:
     def __init__(self, name: str, machine_id: int = -1) -> None:
         self.name = name
         self.machine_id = machine_id
+        # The hosting Machine object, resolved once at registration by the
+        # simulator (None for off-cluster tasks); avoids per-message lookups.
+        self.hosted_machine = None
 
     def handle(self, message: Message, ctx: Context) -> None:
         """Process one message.  Implemented by subclasses."""

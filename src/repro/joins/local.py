@@ -114,18 +114,22 @@ class LocalJoiner:
             the candidates the index had to inspect.
         """
         self._check_relation(item.relation)
-        opposite_index = self._indexes[self.opposite(item.relation)]
         item_is_left = item.relation == self.left_relation
+        opposite_index = self._indexes[
+            self.right_relation if item_is_left else self.left_relation
+        ]
 
         candidates, inspected = self._candidates(opposite_index, item, item_is_left)
         matches = []
+        record = item.record
+        predicate_matches = self.predicate.matches
         for candidate in candidates:
             if restrict is not None and not restrict(candidate):
                 continue
             if item_is_left:
-                satisfied = self.predicate.matches(item.record, candidate.record)
+                satisfied = predicate_matches(record, candidate.record)
             else:
-                satisfied = self.predicate.matches(candidate.record, item.record)
+                satisfied = predicate_matches(candidate.record, record)
             if satisfied:
                 matches.append(candidate)
         return matches, float(max(inspected, 1))

@@ -1,0 +1,100 @@
+"""Batched / per-tuple data-plane equivalence.
+
+Batching is a transport optimisation: for any batch size the operator must
+produce exactly the same join output (as tuple-id pairs), the same number of
+migrations and the same final mapping as the per-tuple data plane
+(``batch_size=1``), which itself reproduces the seed behaviour
+event-for-event.  Both runs are fed the *same* arrival order (the same
+``StreamTuple`` objects) so tuple ids and salts are directly comparable.
+"""
+
+import random
+
+import pytest
+
+from repro.core.baselines import StaticMidOperator
+from repro.core.operator import AdaptiveJoinOperator
+from repro.data.queries import make_query
+from repro.engine.stream import interleave_streams, make_tuples
+
+BATCH_SIZES = (8, 64)
+
+
+def _arrival_order(query, seed):
+    rng = random.Random(seed)
+    left = make_tuples(query.left_relation, query.left_records, rng, query.left_tuple_size)
+    right = make_tuples(
+        query.right_relation, query.right_records, rng, query.right_tuple_size
+    )
+    return interleave_streams(left, right, rng)
+
+
+def _run(operator_class, query, order, batch_size, **kwargs):
+    operator = operator_class(query, 8, seed=5, batch_size=batch_size, **kwargs)
+    return operator.run(arrival_order=order, collect_outputs=True)
+
+
+def _assert_equivalent(operator_class, query, **kwargs):
+    order = _arrival_order(query, seed=5)
+    reference = _run(operator_class, query, order, batch_size=1, **kwargs)
+    assert reference.outputs is not None
+    for batch_size in BATCH_SIZES:
+        batched = _run(operator_class, query, order, batch_size=batch_size, **kwargs)
+        assert sorted(batched.outputs) == sorted(reference.outputs), (
+            f"batch_size={batch_size} changed the join output"
+        )
+        assert batched.migrations == reference.migrations
+        assert batched.final_mapping == reference.final_mapping
+        assert batched.output_count == reference.output_count
+
+
+class TestBatchedEquivalence:
+    @pytest.mark.parametrize("blocking", [False, True])
+    def test_adaptive_equi_join(self, small_dataset, blocking):
+        query = make_query("EQ5", small_dataset)
+        _assert_equivalent(
+            AdaptiveJoinOperator, query, warmup_tuples=16, blocking=blocking
+        )
+
+    def test_adaptive_under_skew(self, skewed_dataset):
+        query = make_query("EQ5", skewed_dataset)
+        _assert_equivalent(AdaptiveJoinOperator, query, warmup_tuples=16)
+
+    @pytest.mark.parametrize("blocking", [False, True])
+    def test_static_operator(self, small_dataset, blocking):
+        query = make_query("EQ5", small_dataset)
+        _assert_equivalent(StaticMidOperator, query, blocking=blocking)
+
+    def test_adaptive_band_join(self, small_dataset):
+        query = make_query("BNCI", small_dataset)
+        _assert_equivalent(AdaptiveJoinOperator, query, warmup_tuples=16)
+
+
+class TestBatchedAccounting:
+    def test_batching_reduces_events(self, small_dataset):
+        """Batches amortise simulator events without changing the output.
+
+        (Network volume is *not* compared across batch sizes: virtual-time
+        compression shifts where the epoch edge falls in the stream, so the
+        mapping under which edge tuples are routed — and hence their fan-out —
+        may legitimately differ.  Per-message volume exactness is covered by
+        the engine-level batch tests.)
+        """
+        query = make_query("EQ5", small_dataset)
+        order = _arrival_order(query, seed=5)
+        per_tuple = _run(AdaptiveJoinOperator, query, order, batch_size=1, warmup_tuples=16)
+        batched = _run(AdaptiveJoinOperator, query, order, batch_size=64, warmup_tuples=16)
+        assert batched.events_processed * 3 < per_tuple.events_processed
+        assert batched.output_count == per_tuple.output_count
+
+    def test_batch_size_recorded_in_result(self, small_dataset):
+        query = make_query("EQ5", small_dataset)
+        order = _arrival_order(query, seed=5)
+        result = _run(StaticMidOperator, query, order, batch_size=64)
+        assert result.batch_size == 64
+        assert result.events_processed > 0
+
+    def test_invalid_batch_size_rejected(self, small_dataset):
+        query = make_query("EQ5", small_dataset)
+        with pytest.raises(ValueError):
+            StaticMidOperator(query, 8, batch_size=0)

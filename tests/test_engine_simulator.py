@@ -3,8 +3,9 @@
 import pytest
 
 from repro.engine.machine import CostModel
+from repro.engine.network import TrafficCategory
 from repro.engine.simulator import Simulator
-from repro.engine.stream import ArrivalSchedule, StreamTuple
+from repro.engine.stream import ArrivalSchedule, StreamTuple, TupleBatch
 from repro.engine.task import Context, Message, MessageKind, Task
 
 
@@ -31,7 +32,12 @@ class Forwarder(Task):
 
     def handle(self, message: Message, ctx: Context) -> None:
         ctx.charge(self.cost)
-        ctx.send(self.destination, Message(kind=message.kind, sender=self.name, payload=message.payload))
+        ctx.send(
+            self.destination,
+            Message(
+                kind=message.kind, sender=self.name, payload=message.payload, size=message.size
+            ),
+        )
 
 
 def _data(payload, kind=MessageKind.DATA, size=1.0):
@@ -146,3 +152,82 @@ class TestPipelines:
         assert sim.max_machine_storage() == 9.0
         assert sim.total_storage() == 14.0
         assert not sim.any_spilled()
+
+
+class TestPriorityStart:
+    def test_control_message_waits_for_running_handler(self):
+        """A priority message bypasses the inbox but not the busy CPU: it
+        starts at max(delivery time, machine.busy_until)."""
+        sim = Simulator(num_machines=1)
+        task = sim.register(Recorder("r", machine_id=0, cost=10.0))
+        sim.schedule(0.0, "r", _data("data"))
+        sim.schedule(1.0, "r", _data("control", kind=MessageKind.MAPPING_CHANGE, size=0.0))
+        sim.run()
+        times = {payload: time for time, payload in task.log}
+        assert times["data"] == pytest.approx(0.0)
+        # Delivered at t=1 while the data handler occupies [0, 10); starts at 10.
+        assert times["control"] == pytest.approx(10.0)
+
+    def test_control_message_on_idle_machine_starts_at_delivery(self):
+        sim = Simulator(num_machines=1)
+        task = sim.register(Recorder("r", machine_id=0, cost=1.0))
+        sim.schedule(3.0, "r", _data("control", kind=MessageKind.MAPPING_CHANGE, size=0.0))
+        sim.run()
+        assert task.log[0][0] == pytest.approx(3.0)
+
+
+class TestBatchedFeed:
+    def _items(self, count):
+        return [StreamTuple(relation="R", record={"i": i}, size=2.0) for i in range(count)]
+
+    def test_batched_feed_coalesces_per_destination(self):
+        sim = Simulator(num_machines=1)
+        task = sim.register(Recorder("r", machine_id=0))
+        items = self._items(10)
+        schedule = ArrivalSchedule(items=items, inter_arrival=1.0)
+        sim.feed_schedule(schedule, destination_picker=lambda item: "r", batch_size=4)
+        sim.run()
+        # 10 arrivals -> batches of 4, 4 and a flushed partial of 2.
+        sizes = [len(payload) for _, payload in task.log]
+        assert sizes == [4, 4, 2]
+        for _, payload in task.log:
+            assert isinstance(payload, TupleBatch)
+        # Per-member arrival stamps survive coalescing.
+        assert [item.arrival_time for item in items] == [float(i) for i in range(10)]
+
+    def test_batch_emitted_at_newest_member_arrival(self):
+        sim = Simulator(num_machines=1)
+        task = sim.register(Recorder("r", machine_id=0))
+        schedule = ArrivalSchedule(items=self._items(4), inter_arrival=2.0)
+        sim.feed_schedule(schedule, destination_picker=lambda item: "r", batch_size=4)
+        sim.run()
+        assert task.log[0][0] == pytest.approx(6.0)
+
+    def test_batch_size_one_is_per_tuple(self):
+        sim = Simulator(num_machines=1)
+        task = sim.register(Recorder("r", machine_id=0))
+        schedule = ArrivalSchedule(items=self._items(3))
+        sim.feed_schedule(schedule, destination_picker=lambda item: "r", batch_size=1)
+        sim.run()
+        assert len(task.log) == 3
+        assert all(isinstance(payload, StreamTuple) for _, payload in task.log)
+
+    def test_batch_network_accounting_is_exact(self):
+        """A batch transfer counts one message, len(batch) tuples and the
+        summed member size as volume."""
+        sim = Simulator(num_machines=2)
+        sim.register(Recorder("sink", machine_id=1))
+        forwarder = sim.register(Forwarder("hop", "sink", machine_id=0))
+        batch = TupleBatch(items=self._items(5))
+        message = Message(
+            kind=MessageKind.BATCH,
+            sender="test",
+            payload=batch,
+            size=batch.size,
+            meta={"inner": MessageKind.DATA},
+        )
+        sim.schedule(0.0, "hop", message)
+        sim.run()
+        assert sim.network.messages[TrafficCategory.ROUTING] == 1
+        assert sim.network.tuples[TrafficCategory.ROUTING] == 5
+        assert sim.network.volume[TrafficCategory.ROUTING] == pytest.approx(10.0)
