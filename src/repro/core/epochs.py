@@ -16,6 +16,15 @@ state machine so that the protocol's correctness — the output after the
 migration equals ``(τ ∪ Δ ∪ Δ') ⋈ (τ ∪ Δ ∪ Δ')`` with no duplicates
 (Definition 4.4, Theorem 4.5) — can be tested in isolation and reused by the
 simulated joiner task.
+
+Tag-partitioned stores: during a migration the joiner's state is held in four
+sub-stores — ``Keep(τ ∪ Δ)``, ``Drop(τ ∪ Δ)``, ``Δ'`` and ``µ`` — instead of
+one store plus a per-candidate tag filter.  A protocol probe selects the
+partitions of its tuple set and probes only those; the unselected partitions
+contribute their candidate *counts* so that the charged work (candidates a
+single union index would have inspected) is bit-identical to the unpartitioned
+protocol.  FinalizeMigration becomes a wholesale drop of the Drop partition
+plus a bulk merge of the survivors — no per-tuple tag rewriting.
 """
 
 from __future__ import annotations
@@ -66,13 +75,18 @@ class FinalizeResult:
     epoch: int
 
 
-# Tags for the tuple sets of Algorithm 3.
-_TAU = "tau"
-_DELTA = "delta"
-_DELTA_PRIME = "delta_prime"
-_MU = "mu"
-_OLD_TAGS = (_TAU, _DELTA)
-_ALL_TAGS = (_TAU, _DELTA, _DELTA_PRIME, _MU)
+# The tag partitions of Algorithm 3's tuple sets, as sub-store names.
+_OLD_KEEP = "old_keep"      # Keep(τ ∪ Δ): old-epoch tuples this joiner retains
+_OLD_DROP = "old_drop"      # Drop(τ ∪ Δ): old-epoch tuples discarded at finalize
+_NEW = "new"                # Δ': tuples tagged with the pending epoch
+_MU = "mu"                  # µ: tuples relocated from other joiners
+_PARTITIONS = (_OLD_KEEP, _OLD_DROP, _NEW, _MU)
+
+# Partition selections of the protocol's probes.
+_SEL_OLD = (_OLD_KEEP, _OLD_DROP)        # τ ∪ Δ
+_SEL_OLD_KEEP = (_OLD_KEEP,)             # Keep(τ ∪ Δ)
+_SEL_NEW = (_NEW,)                       # Δ'
+_SEL_NEW_MU = (_NEW, _MU)                # µ ∪ Δ'
 
 
 class EpochJoinerState:
@@ -105,8 +119,9 @@ class EpochJoinerState:
         self.plan: MigrationPlan | None = None
         self.pending_epoch: int | None = None
 
-        self._tags: dict[int, str] = {}
-        self._keep: dict[int, bool] = {}
+        # Tag-partitioned sub-stores; built at migration start, merged back
+        # into ``store`` at finalize.  None while NORMAL (everything is τ).
+        self._parts: dict[str, LocalJoiner] | None = None
         self._signals: set[str] = set()
         self._expected_senders: set[int] = set()
         self._received_ends: set[int] = set()
@@ -122,46 +137,48 @@ class EpochJoinerState:
             return new_item, stored_item
         return stored_item, new_item
 
-    def _restrict(self, tags: tuple[str, ...], require_keep: bool = False):
-        def accept(stored_item: StreamTuple) -> bool:
-            tag = self._tags.get(stored_item.tuple_id)
-            if tag not in tags:
-                return False
-            if require_keep:
-                return self._keep.get(stored_item.tuple_id, True)
-            return True
-
-        return accept
-
-    def _join(
-        self,
-        item: StreamTuple,
-        actions: TupleActions,
-        tags: tuple[str, ...],
-        require_keep: bool = False,
-    ) -> None:
-        # Every stored tuple carries one of the four tags, so the all-tags
-        # filter is a tautology — skip it on the hot NORMAL path.
-        if tags is _ALL_TAGS and not require_keep:
-            restrict = None
-        else:
-            restrict = self._restrict(tags, require_keep)
-        matches, work = self.store.probe(item, restrict)
+    def _join_store(self, item: StreamTuple, actions: TupleActions) -> None:
+        """Normal-operation probe: everything stored is τ, probe it all."""
+        matches, work = self.store.probe(item)
         actions.probe_work += work
         if matches:
             actions.matches.extend(self._oriented(item, match) for match in matches)
 
-    def _store(self, item: StreamTuple, tag: str, keep: bool | None = None) -> None:
-        self.store.insert(item)
-        self._tags[item.tuple_id] = tag
-        if keep is not None:
-            self._keep[item.tuple_id] = keep
+    def _join_parts(
+        self, item: StreamTuple, actions: TupleActions, select: tuple[str, ...]
+    ) -> None:
+        """Probe the partitions holding the tuple sets in ``select``.
+
+        The unselected partitions contribute their candidate counts so the
+        charged work equals what a single union-store probe would have
+        inspected (the partitions tile the joiner's state), keeping CPU
+        accounting bit-identical to the unpartitioned protocol.
+        """
+        parts = self._parts
+        assert parts is not None
+        matches: list[StreamTuple] = []
+        inspected = 0
+        for name in _PARTITIONS:
+            part = parts[name]
+            if name in select:
+                part_matches, part_inspected = part.raw_probe(item)
+                inspected += part_inspected
+                if part_matches:
+                    matches.extend(part_matches)
+            else:
+                inspected += part.candidate_count(item)
+        actions.probe_work += float(max(inspected, 1))
+        if matches:
+            actions.matches.extend(self._oriented(item, match) for match in matches)
 
     # -------------------------------------------------------------- counters
 
     def stored_count(self) -> int:
         """Number of tuples currently stored (including not-yet-discarded ones)."""
-        return len(self._tags)
+        total = self.store.total_count()
+        if self._parts is not None:
+            total += sum(part.total_count() for part in self._parts.values())
+        return total
 
     def migration_in_progress(self) -> bool:
         """Whether a migration is currently being executed."""
@@ -185,8 +202,8 @@ class EpochJoinerState:
                     f"tuple tagged with past epoch {item.epoch}"
                 )
             # Normal operation: join with everything stored, then store as τ.
-            self._join(item, actions, _ALL_TAGS)
-            self._store(item, _TAU)
+            self._join_store(item, actions)
+            self.store.insert(item)
             actions.stored = True
             return actions
 
@@ -204,24 +221,48 @@ class EpochJoinerState:
             f"from {self.current_epoch} to {self.pending_epoch}"
         )
 
+    def handle_data_batch(self, items: list[StreamTuple]) -> list[TupleActions]:
+        """Batched HandleTuple1 for one single-epoch run of routed data tuples.
+
+        On the hot NORMAL path the whole batch is inserted+probed through
+        :meth:`LocalJoiner.probe_batch` — one grouped index pass with correct
+        intra-batch self-join semantics and per-member work accounting
+        identical to the per-tuple path.  Any other phase (or an epoch
+        mismatch, e.g. a batch buffered across a migration edge) falls back
+        to the per-tuple handler, which implements the full protocol.
+        """
+        if self.phase is JoinerPhase.NORMAL:
+            current = self.current_epoch
+            if all(item.epoch == current for item in items):
+                oriented = self._oriented
+                results = []
+                for item, (matches, work) in zip(items, self.store.probe_batch(items)):
+                    actions = TupleActions(probe_work=work, stored=True)
+                    if matches:
+                        actions.matches = [oriented(item, match) for match in matches]
+                    results.append(actions)
+                return results
+        return [self.handle_data(item) for item in items]
+
     def _handle_delta(self, item: StreamTuple, actions: TupleActions) -> TupleActions:
         """Old-epoch tuple during migration (Alg. 3 lines 15-20)."""
-        assert self.plan is not None
-        self._join(item, actions, _OLD_TAGS)
+        assert self.plan is not None and self._parts is not None
+        self._join_parts(item, actions, _SEL_OLD)
         keep = self.plan.keeps(self.machine_id, self._side(item), item.salt)
-        self._store(item, _DELTA, keep=keep)
+        self._parts[_OLD_KEEP if keep else _OLD_DROP].insert(item)
         actions.stored = True
         if keep:
-            self._join(item, actions, (_DELTA_PRIME,))
+            self._join_parts(item, actions, _SEL_NEW)
         destinations = self.plan.destinations_for(self.machine_id, self._side(item), item.salt)
         actions.migrate_to.extend((destination, item) for destination in destinations)
         return actions
 
     def _handle_delta_prime(self, item: StreamTuple, actions: TupleActions) -> TupleActions:
         """New-epoch tuple during migration (Alg. 3 lines 12-14 and 24-26)."""
-        self._join(item, actions, (_MU, _DELTA_PRIME))
-        self._join(item, actions, _OLD_TAGS, require_keep=True)
-        self._store(item, _DELTA_PRIME)
+        assert self._parts is not None
+        self._join_parts(item, actions, _SEL_NEW_MU)
+        self._join_parts(item, actions, _SEL_OLD_KEEP)
+        self._parts[_NEW].insert(item)
         actions.stored = True
         return actions
 
@@ -233,8 +274,9 @@ class EpochJoinerState:
         if self.phase is JoinerPhase.NORMAL:
             self._early_messages.append(("migrated", item))
             return actions
-        self._join(item, actions, (_DELTA_PRIME,))
-        self._store(item, _MU)
+        assert self._parts is not None
+        self._join_parts(item, actions, _SEL_NEW)
+        self._parts[_MU].insert(item)
         actions.stored = True
         return actions
 
@@ -279,19 +321,32 @@ class EpochJoinerState:
         return migrations, replayed
 
     def _ship_tau(self) -> list[tuple[int, StreamTuple]]:
-        """Send τ for migration (Alg. 3 line 3) and pre-compute keep flags."""
+        """Send τ for migration (Alg. 3 line 3) and build the tag partitions.
+
+        At migration start everything stored is τ; each tuple's keep flag
+        decides its partition (``Keep(τ ∪ Δ)`` vs ``Drop(τ ∪ Δ)``), replacing
+        the per-tuple keep map with wholesale partition membership.
+        """
         assert self.plan is not None
+        plan = self.plan
+        machine_id = self.machine_id
+        parts = {name: self.store.fresh() for name in _PARTITIONS}
         migrations: list[tuple[int, StreamTuple]] = []
-        for item in list(self.store.stored(self.left_relation)) + list(
-            self.store.stored(self.store.opposite(self.left_relation))
-        ):
-            tag = self._tags.get(item.tuple_id)
-            if tag not in _OLD_TAGS:
-                continue
-            side = self._side(item)
-            self._keep[item.tuple_id] = self.plan.keeps(self.machine_id, side, item.salt)
-            for destination in self.plan.destinations_for(self.machine_id, side, item.salt):
-                migrations.append((destination, item))
+        for relation in (self.left_relation, self.store.opposite(self.left_relation)):
+            side = "R" if relation == self.left_relation else "S"
+            keep_items: list[StreamTuple] = []
+            drop_items: list[StreamTuple] = []
+            for item in self.store.stored(relation):
+                if plan.keeps(machine_id, side, item.salt):
+                    keep_items.append(item)
+                else:
+                    drop_items.append(item)
+                for destination in plan.destinations_for(machine_id, side, item.salt):
+                    migrations.append((destination, item))
+            parts[_OLD_KEEP].bulk_insert(relation, keep_items)
+            parts[_OLD_DROP].bulk_insert(relation, drop_items)
+        self._parts = parts
+        self.store = self.store.fresh()
         return migrations
 
     def _drain_early_messages(self) -> list[tuple[StreamTuple, TupleActions]]:
@@ -317,27 +372,30 @@ class EpochJoinerState:
         return self._expected_senders.issubset(self._received_ends)
 
     def finalize(self) -> FinalizeResult:
-        """FinalizeMigration (Alg. 3 lines 27-30): discard, merge sets, reset."""
+        """FinalizeMigration (Alg. 3 lines 27-30): discard, merge sets, reset.
+
+        With tag partitions this is wholesale: drop the ``Drop(τ ∪ Δ)``
+        partition and bulk-merge ``Keep(τ ∪ Δ) ∪ Δ' ∪ µ`` into the new τ
+        store — no per-tuple tag checks or index removals.
+        """
         if not self.can_finalize():
             raise ProtocolError("finalize() called before the migration completed")
-        assert self.pending_epoch is not None
-        discarded = []
+        assert self.pending_epoch is not None and self._parts is not None
+        parts = self._parts
+        discarded: list[StreamTuple] = []
         for relation in (self.left_relation, self.store.opposite(self.left_relation)):
-            for item in list(self.store.stored(relation)):
-                tag = self._tags.get(item.tuple_id)
-                if tag in _OLD_TAGS and not self._keep.get(item.tuple_id, True):
-                    self.store.remove(item)
-                    self._tags.pop(item.tuple_id, None)
-                    discarded.append(item)
+            discarded.extend(parts[_OLD_DROP].stored(relation))
         # τ <- Keep(τ ∪ Δ) ∪ µ ∪ Δ'
-        for tuple_id in list(self._tags):
-            self._tags[tuple_id] = _TAU
+        merged = parts[_OLD_KEEP]
+        merged.absorb(parts[_NEW])
+        merged.absorb(parts[_MU])
+        self.store = merged
+        self._parts = None
         closed_epoch = self.pending_epoch
         self.current_epoch = closed_epoch
         self.pending_epoch = None
         self.plan = None
         self.phase = JoinerPhase.NORMAL
-        self._keep.clear()
         self._signals.clear()
         self._expected_senders.clear()
         self._received_ends.clear()

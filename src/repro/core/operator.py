@@ -60,6 +60,11 @@ class GridJoinOperator:
         batch_size: micro-batch size of the data plane.  ``None`` selects
             :data:`DEFAULT_BATCH_SIZE`; ``1`` reproduces the per-tuple
             message-per-event behaviour event-for-event.
+        probe_engine: joiner probe engine — ``"vectorized"`` (default,
+            batch-aware probes with the exact-key fast path) or ``"scalar"``
+            (per-member reference path; used for differential testing and as
+            the probe-engine benchmark baseline).  Both charge identical
+            simulated work; the knob only changes wall-clock behaviour.
     """
 
     operator_name = "Grid"
@@ -79,6 +84,7 @@ class GridJoinOperator:
         memory_capacity: float | None = None,
         sample_every: int = 200,
         batch_size: int | None = None,
+        probe_engine: str = "vectorized",
     ) -> None:
         if not is_power_of_two(machines):
             raise ValueError(
@@ -99,6 +105,7 @@ class GridJoinOperator:
         self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
         if self.batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        self.probe_engine = probe_engine
 
     # ------------------------------------------------------------------ build
 
@@ -158,6 +165,7 @@ class GridJoinOperator:
                     machine_id=machine_id,
                     topology=topology,
                     batch_size=self.batch_size,
+                    probe_engine=self.probe_engine,
                 )
             )
         return tasks
@@ -259,6 +267,7 @@ class GridJoinOperator:
             final_mapping=final_mapping,
             events_processed=simulator.events_processed,
             batch_size=self.batch_size,
+            probe_work=metrics.probe_work,
             ilf_series=metrics.ilf_fraction_series(expected_inputs),
             ratio_series=list(metrics.ratio_series),
             cardinality_series=list(metrics.competitive_series),

@@ -36,6 +36,9 @@ class RunResult:
         events_processed: simulator handler invocations during the run — the
             data-plane overhead a larger batch size amortises away.
         batch_size: micro-batch size the run used (1 = per-tuple data plane).
+        probe_work: total joiner probe work units charged (index candidates
+            inspected, floored at one per probe) — exact across batch sizes
+            and probe engines, pinned by the batching-equivalence tests.
         ilf_series: (fraction of input processed, max per-machine ILF) samples.
         ratio_series: (tuples processed, ILF/ILF*) samples.
         cardinality_series: (tuples processed, |R|/|S|) samples.
@@ -64,6 +67,7 @@ class RunResult:
     final_mapping: Mapping
     events_processed: int = 0
     batch_size: int = 1
+    probe_work: float = 0.0
     ilf_series: list[tuple[float, float]] = field(default_factory=list)
     ratio_series: list[tuple[int, float]] = field(default_factory=list)
     cardinality_series: list[tuple[int, float]] = field(default_factory=list)

@@ -402,7 +402,16 @@ class HashReshufflerTask(ReshufflerTask):
 
 
 class JoinerTask(Task):
-    """A joiner: local non-blocking join wrapped in the epoch protocol."""
+    """A joiner: local non-blocking join wrapped in the epoch protocol.
+
+    Args:
+        probe_engine: ``"vectorized"`` (default) routes DATA batches through
+            the batch-aware probe engine (``EpochJoinerState.handle_data_batch``
+            → ``LocalJoiner.probe_batch``); ``"scalar"`` keeps the per-member
+            dispatch with full per-candidate predicate re-validation — the
+            pre-vectorization reference used by differential tests and the
+            probe-engine benchmarks.
+    """
 
     def __init__(
         self,
@@ -411,11 +420,15 @@ class JoinerTask(Task):
         topology: Topology,
         migration_rate_factor: float = 2.0,
         batch_size: int = 1,
+        probe_engine: str = "vectorized",
     ) -> None:
         super().__init__(name, machine_id)
         self.topology = topology
         store = make_local_joiner(
-            topology.predicate, topology.left_relation, topology.right_relation
+            topology.predicate,
+            topology.left_relation,
+            topology.right_relation,
+            engine=probe_engine,
         )
         self.state = EpochJoinerState(
             machine_id=machine_id,
@@ -425,6 +438,7 @@ class JoinerTask(Task):
         )
         self.migration_rate_factor = migration_rate_factor
         self.batch_size = max(1, batch_size)
+        self.vectorized = probe_engine == "vectorized"
         self._ends_sent_for: int | None = None
 
     # -------------------------------------------------------------- handling
@@ -460,9 +474,14 @@ class JoinerTask(Task):
         sink: RouteGroups = {}
         apply = self._apply
         if inner is MessageKind.DATA:
-            handle_data = self.state.handle_data
-            for item in message.payload:
-                apply(handle_data(item), item, ctx, migrated=False, sink=sink)
+            if self.vectorized:
+                items = list(message.payload)
+                for item, actions in zip(items, self.state.handle_data_batch(items)):
+                    apply(actions, item, ctx, migrated=False, sink=sink)
+            else:
+                handle_data = self.state.handle_data
+                for item in message.payload:
+                    apply(handle_data(item), item, ctx, migrated=False, sink=sink)
         elif inner is MessageKind.MIGRATION:
             handle_migrated = self.state.handle_migrated
             for item in message.payload:
@@ -576,6 +595,8 @@ class JoinerTask(Task):
     ) -> None:
         machine = ctx.machine
         cost_model = machine.cost_model if machine else None
+        if actions.probe_work:
+            ctx.metrics.record_probe_work(actions.probe_work)
         if cost_model is not None:
             factor = machine.storage_factor()
             cost = 0.0

@@ -52,6 +52,7 @@ class MetricsCollector:
     processed_inputs: int = 0
     finish_time: float = 0.0
     progress_times: list[tuple[int, float]] = field(default_factory=list)
+    probe_work: float = 0.0
 
     # ------------------------------------------------------------ recording
 
@@ -74,6 +75,11 @@ class MetricsCollector:
                 machine_id=machine_id,
             )
         )
+
+    def record_probe_work(self, amount: float) -> None:
+        """Accumulate joiner probe work units (index candidates inspected,
+        floored at one unit per probe — see ``LocalJoiner.probe``)."""
+        self.probe_work += amount
 
     def record_input_processed(self, now: float) -> None:
         """Count an input tuple having been routed by a reshuffler."""

@@ -10,31 +10,58 @@ band joins (§5, "Operators").  This module provides the equivalent structures:
 
 Every probe reports the number of *candidates* inspected, which the engine
 charges as CPU work; this is how index choice influences simulated
-throughput, mirroring the real systems trade-off.
+throughput, mirroring the real systems trade-off.  Indexes report the **raw**
+candidate count (possibly zero); the one-unit work floor per probe is applied
+in exactly one place, :meth:`repro.joins.local.LocalJoiner.probe`.
+
+Batch-aware probing: :meth:`probe_batch` serves a whole micro-batch of keys
+with one grouped pass (hash) and :meth:`probe_range_batch` sort-merges a
+batch of ranges against the ordered key list.  Probe results reference the
+stored candidate runs without copying hash buckets; callers must treat the
+returned lists as read-only snapshots that are valid until the next
+``insert``/``remove``/``bulk_insert`` on the index.
 """
 
 from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Any, Callable, Iterable, Iterator
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.stream import StreamTuple
 
+#: Shared empty probe result (read-only by convention, like live buckets).
+_NO_CANDIDATES: list[StreamTuple] = []
+
 
 class JoinIndex:
-    """Common interface of the local join indexes."""
+    """Common interface of the local join indexes.
+
+    ``len(index)`` and :attr:`total_size` are maintained counters updated on
+    every mutation, so size accounting is O(1) — never a re-scan.
+    """
 
     def __init__(self, key_func: Callable[[StreamTuple], Any] | None = None) -> None:
         self._key_func = key_func
         self._count = 0
+        self._total_size = 0.0
 
     def __len__(self) -> int:
         return self._count
 
+    @property
+    def total_size(self) -> float:
+        """Total stored size units (sum of member ``size``), O(1)."""
+        return self._total_size
+
     def insert(self, item: StreamTuple) -> None:
         """Add ``item`` to the index."""
         raise NotImplementedError
+
+    def bulk_insert(self, items: Iterable[StreamTuple]) -> None:
+        """Insert many items at once (amortised faster than repeated insert)."""
+        for item in items:
+            self.insert(item)
 
     def remove(self, item: StreamTuple) -> bool:
         """Remove ``item``; returns True if it was present."""
@@ -44,8 +71,26 @@ class JoinIndex:
         """Return ``(candidates, candidates_inspected)`` for an exact key."""
         raise NotImplementedError
 
+    def probe_batch(self, keys: Sequence[Any]) -> list[tuple[list[StreamTuple], int]]:
+        """Exact-key probes for a whole batch; aligned with ``keys``."""
+        return [self.probe(key) for key in keys]
+
     def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
         """Return ``(candidates, candidates_inspected)`` for a key range."""
+        raise NotImplementedError
+
+    def probe_range_batch(
+        self, ranges: Sequence[tuple[Any, Any]]
+    ) -> list[tuple[list[StreamTuple], int]]:
+        """Range probes for a whole batch; aligned with ``ranges``."""
+        return [self.probe_range(low, high) for low, high in ranges]
+
+    def count_key(self, key: Any) -> int:
+        """Number of candidates an exact-key probe would inspect (no copy)."""
+        raise NotImplementedError
+
+    def count_range(self, low: Any, high: Any) -> int:
+        """Number of candidates a range probe would inspect (no copy)."""
         raise NotImplementedError
 
     def items(self) -> Iterator[StreamTuple]:
@@ -63,26 +108,70 @@ class HashIndex(JoinIndex):
     def insert(self, item: StreamTuple) -> None:
         self._buckets[self._key_func(item)].append(item)
         self._count += 1
+        self._total_size += item.size
 
     def remove(self, item: StreamTuple) -> bool:
-        bucket = self._buckets.get(self._key_func(item))
+        key = self._key_func(item)
+        bucket = self._buckets.get(key)
         if not bucket:
             return False
         for index, existing in enumerate(bucket):
             if existing.tuple_id == item.tuple_id:
                 bucket.pop(index)
+                if not bucket:
+                    del self._buckets[key]
                 self._count -= 1
+                self._total_size -= item.size
                 return True
         return False
 
     def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
-        candidates = self._buckets.get(key, [])
-        return list(candidates), len(candidates)
+        # Returns the live bucket (no copy); read-only for callers, valid
+        # until the next mutation of this index.
+        bucket = self._buckets.get(key)
+        if not bucket:
+            return _NO_CANDIDATES, 0
+        return bucket, len(bucket)
+
+    def probe_batch(self, keys: Sequence[Any]) -> list[tuple[list[StreamTuple], int]]:
+        # One bucket lookup per *distinct* key in the batch; repeated keys
+        # reuse the memoised bucket reference.
+        buckets = self._buckets
+        memo: dict[Any, list[StreamTuple]] = {}
+        results = []
+        for key in keys:
+            bucket = memo.get(key)
+            if bucket is None:
+                bucket = buckets.get(key, _NO_CANDIDATES)
+                memo[key] = bucket
+            results.append((bucket, len(bucket)))
+        return results
+
+    def bucket_for(self, key: Any) -> list[StreamTuple] | None:
+        """The live bucket for ``key`` (read-only), or None when empty.
+
+        The zero-copy primitive behind the batch probe engine: callers walk
+        the bucket in place instead of receiving a copy.
+        """
+        return self._buckets.get(key)
+
+    def insert_keyed(self, key: Any, item: StreamTuple) -> None:
+        """Insert ``item`` under an already-extracted ``key`` (batch hot path)."""
+        self._buckets[key].append(item)
+        self._count += 1
+        self._total_size += item.size
 
     def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
         # A hash index cannot serve ranges efficiently; fall back to a scan.
         candidates = [item for item in self.items() if low <= self._key_func(item) <= high]
         return candidates, self._count
+
+    def count_key(self, key: Any) -> int:
+        bucket = self._buckets.get(key)
+        return len(bucket) if bucket else 0
+
+    def count_range(self, low: Any, high: Any) -> int:
+        return self._count
 
     def items(self) -> Iterator[StreamTuple]:
         for bucket in self._buckets.values():
@@ -108,6 +197,47 @@ class OrderedIndex(JoinIndex):
         self._keys.insert(position, key)
         self._values.insert(position, item)
         self._count += 1
+        self._total_size += item.size
+
+    def bulk_insert(self, items: Iterable[StreamTuple]) -> None:
+        # One sorted merge instead of per-item O(n) list inserts.  Items
+        # coming from another OrderedIndex arrive already sorted, making the
+        # incoming sort a no-op for timsort.
+        incoming = list(items)
+        if not incoming:
+            return
+        key_func = self._key_func
+        new_keys = [key_func(item) for item in incoming]
+        if any(a > b for a, b in zip(new_keys, new_keys[1:])):
+            order = sorted(range(len(incoming)), key=new_keys.__getitem__)
+            new_keys = [new_keys[i] for i in order]
+            incoming = [incoming[i] for i in order]
+        if not self._keys:
+            self._keys = new_keys
+            self._values = incoming
+        else:
+            old_keys, old_values = self._keys, self._values
+            merged_keys: list[Any] = []
+            merged_values: list[StreamTuple] = []
+            i = j = 0
+            n, m = len(old_keys), len(new_keys)
+            while i < n and j < m:
+                # Existing entries go first on key ties (bisect_right parity).
+                if new_keys[j] < old_keys[i]:
+                    merged_keys.append(new_keys[j])
+                    merged_values.append(incoming[j])
+                    j += 1
+                else:
+                    merged_keys.append(old_keys[i])
+                    merged_values.append(old_values[i])
+                    i += 1
+            merged_keys.extend(old_keys[i:])
+            merged_values.extend(old_values[i:])
+            merged_keys.extend(new_keys[j:])
+            merged_values.extend(incoming[j:])
+            self._keys, self._values = merged_keys, merged_values
+        self._count += len(incoming)
+        self._total_size += sum(item.size for item in incoming)
 
     def remove(self, item: StreamTuple) -> bool:
         key = self._key_func(item)
@@ -117,6 +247,7 @@ class OrderedIndex(JoinIndex):
                 self._keys.pop(position)
                 self._values.pop(position)
                 self._count -= 1
+                self._total_size -= item.size
                 return True
             position += 1
         return False
@@ -128,7 +259,33 @@ class OrderedIndex(JoinIndex):
         start = bisect.bisect_left(self._keys, low)
         end = bisect.bisect_right(self._keys, high)
         candidates = self._values[start:end]
-        return list(candidates), max(len(candidates), 1)
+        return candidates, end - start
+
+    def probe_range_batch(
+        self, ranges: Sequence[tuple[Any, Any]]
+    ) -> list[tuple[list[StreamTuple], int]]:
+        # Sort-merge: probing ranges in ascending-low order lets both cursors
+        # advance monotonically over the key list — each bisect searches only
+        # past the previous range's start (the ordered-index analogue of
+        # grouping a batch by hash key).
+        if len(ranges) <= 1:
+            return [self.probe_range(low, high) for low, high in ranges]
+        order = sorted(range(len(ranges)), key=lambda i: ranges[i][0])
+        keys, values = self._keys, self._values
+        results: list[tuple[list[StreamTuple], int] | None] = [None] * len(ranges)
+        start = 0
+        for index in order:
+            low, high = ranges[index]
+            start = bisect.bisect_left(keys, low, lo=start)
+            end = bisect.bisect_right(keys, high, lo=start)
+            results[index] = (values[start:end], end - start)
+        return results  # type: ignore[return-value]
+
+    def count_key(self, key: Any) -> int:
+        return self.count_range(key, key)
+
+    def count_range(self, low: Any, high: Any) -> int:
+        return bisect.bisect_right(self._keys, high) - bisect.bisect_left(self._keys, low)
 
     def items(self) -> Iterator[StreamTuple]:
         return iter(list(self._values))
@@ -144,20 +301,35 @@ class ScanIndex(JoinIndex):
     def insert(self, item: StreamTuple) -> None:
         self._items.append(item)
         self._count += 1
+        self._total_size += item.size
+
+    def bulk_insert(self, items: Iterable[StreamTuple]) -> None:
+        incoming = list(items)
+        self._items.extend(incoming)
+        self._count += len(incoming)
+        self._total_size += sum(item.size for item in incoming)
 
     def remove(self, item: StreamTuple) -> bool:
         for index, existing in enumerate(self._items):
             if existing.tuple_id == item.tuple_id:
                 self._items.pop(index)
                 self._count -= 1
+                self._total_size -= item.size
                 return True
         return False
 
     def probe(self, key: Any) -> tuple[list[StreamTuple], int]:
-        return list(self._items), len(self._items)
+        # Live storage list (no copy); read-only for callers.
+        return self._items, self._count
 
     def probe_range(self, low: Any, high: Any) -> tuple[list[StreamTuple], int]:
-        return list(self._items), len(self._items)
+        return self._items, self._count
+
+    def count_key(self, key: Any) -> int:
+        return self._count
+
+    def count_range(self, low: Any, high: Any) -> int:
+        return self._count
 
     def items(self) -> Iterator[StreamTuple]:
         return iter(list(self._items))

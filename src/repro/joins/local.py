@@ -10,16 +10,34 @@ the CPU work a probe costs.
 
 ``insert`` and ``probe`` return *work units* (number of candidates touched)
 so that the simulation engine can charge realistic, predicate-dependent CPU
-costs.
+costs.  :meth:`LocalJoiner.probe_batch` is the batch-aware engine: it
+inserts+probes an entire micro-batch symmetrically — each member joins
+against everything stored before it, including earlier batch members — while
+probing the pre-batch index state in one grouped (hash) or sort-merge
+(ordered) pass.
+
+Two probe engines are supported:
+
+* ``"vectorized"`` (default) — batch index passes, and the exact-key fast
+  path: candidates from an exact-key hash bucket already satisfy the primary
+  equality (the bucket key *is* the predicate), so only composite residuals
+  are re-validated per pair.
+* ``"scalar"`` — the per-member reference path that re-validates the full
+  predicate on every candidate.  It defines the semantics ``probe_batch``
+  must reproduce and serves as the differential-testing oracle and the
+  pre-vectorization benchmark baseline.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Sequence
 
 from repro.engine.stream import StreamTuple
 from repro.joins.index import JoinIndex, make_index
 from repro.joins.predicates import JoinPredicate
+
+#: Probe-engine flavours accepted by :class:`LocalJoiner`.
+PROBE_ENGINES = ("vectorized", "scalar")
 
 
 class LocalJoiner:
@@ -29,18 +47,47 @@ class LocalJoiner:
         predicate: the join condition; its ``kind`` selects the index type.
         left_relation: relation name treated as the left/"R" side.
         right_relation: relation name treated as the right/"S" side.
+        engine: probe engine, ``"vectorized"`` (default) or ``"scalar"``
+            (full per-candidate re-validation; reference semantics).
     """
 
-    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+    def __init__(
+        self,
+        predicate: JoinPredicate,
+        left_relation: str,
+        right_relation: str,
+        engine: str = "vectorized",
+    ) -> None:
+        if engine not in PROBE_ENGINES:
+            raise ValueError(f"unknown probe engine {engine!r}; expected one of {PROBE_ENGINES}")
         self.predicate = predicate
         self.left_relation = left_relation
         self.right_relation = right_relation
+        self.engine = engine
         self._indexes: dict[str, JoinIndex] = {
             left_relation: self._build_index(side="left"),
             right_relation: self._build_index(side="right"),
         }
+        kind = predicate.kind
+        # Pre-resolved probe plumbing (avoids per-probe getattr chains).
+        self._pred_left_key = predicate.left_key if kind in ("equi", "band") else None
+        self._pred_right_key = predicate.right_key if kind in ("equi", "band") else None
+        self._band_width = self._resolve_band_width() if kind == "band" else 0.0
+        vectorized = engine == "vectorized"
+        self._exact_key = vectorized and kind == "equi" and predicate.exact_key
+        # Per-candidate validation, resolved once: None means exact-key hash
+        # candidates need no validation at all (the bucket is the match set);
+        # exact-key predicates with residuals validate only the residual part;
+        # everything else (and the scalar engine) runs the full predicate.
+        self._check = predicate.residual_check() if self._exact_key else predicate.matches
 
     # ------------------------------------------------------------ index setup
+
+    def _resolve_band_width(self) -> float:
+        width = getattr(self.predicate, "width", None)
+        if width is None:
+            width = getattr(getattr(self.predicate, "primary", None), "width", 0.0)
+        return width
 
     def _key_func(self, side: str) -> Callable[[StreamTuple], object] | None:
         if self.predicate.kind not in ("equi", "band"):
@@ -51,6 +98,14 @@ class LocalJoiner:
 
     def _build_index(self, side: str) -> JoinIndex:
         return make_index(self.predicate.kind, self._key_func(side))
+
+    def fresh(self) -> "LocalJoiner":
+        """An empty joiner with the same predicate, relations and engine.
+
+        Used by the epoch protocol to build tag-partitioned sub-stores.
+        """
+        return type(self)(self.predicate, self.left_relation, self.right_relation,
+                          engine=self.engine)
 
     # ---------------------------------------------------------------- storage
 
@@ -74,6 +129,16 @@ class LocalJoiner:
         self._indexes[item.relation].insert(item)
         return 1.0
 
+    def bulk_insert(self, relation: str, items: Sequence[StreamTuple]) -> None:
+        """Bulk-load ``items`` of ``relation`` (amortised index construction)."""
+        self._check_relation(relation)
+        self._indexes[relation].bulk_insert(items)
+
+    def absorb(self, other: "LocalJoiner") -> None:
+        """Merge every tuple stored in ``other`` into this joiner."""
+        for relation in (self.left_relation, self.right_relation):
+            self._indexes[relation].bulk_insert(list(other.stored(relation)))
+
     def remove(self, item: StreamTuple) -> bool:
         """Remove ``item`` from storage; returns True if it was stored."""
         self._check_relation(item.relation)
@@ -84,9 +149,17 @@ class LocalJoiner:
         self._check_relation(relation)
         return len(self._indexes[relation])
 
+    def total_count(self) -> int:
+        """Number of stored tuples across both relations (O(1))."""
+        return sum(len(index) for index in self._indexes.values())
+
     def stored_size(self) -> float:
-        """Total size units stored across both relations."""
-        return sum(item.size for index in self._indexes.values() for item in index.items())
+        """Total size units stored across both relations (O(1)).
+
+        Backed by counters the indexes maintain on insert/remove/bulk-load —
+        never a re-scan of the stored tuples.
+        """
+        return sum(index.total_size for index in self._indexes.values())
 
     def stored(self, relation: str) -> Iterator[StreamTuple]:
         """Iterate over stored tuples of ``relation``."""
@@ -104,35 +177,89 @@ class LocalJoiner:
 
         Args:
             item: the newly arrived tuple (not yet inserted).
-            restrict: optional filter over stored tuples; the epoch protocol
-                of §4.3.1 uses it to join against specific tuple sets
-                (``Keep(τ ∪ ∆)``, ``µ``, ``∆'``, ...).
+            restrict: optional filter over stored tuples (tuple-set selection
+                for callers not using the partitioned epoch stores).
 
         Returns:
             ``(matches, work_units)`` where ``matches`` are the stored tuples
             satisfying the predicate with ``item`` and ``work_units`` counts
-            the candidates the index had to inspect.
+            the candidates the index had to inspect.  Work units are floored
+            at 1: every probe costs at least the index lookup itself.  This is
+            the *single* place the floor is applied — indexes and
+            :meth:`raw_probe` report raw candidate counts.
+        """
+        matches, inspected = self.raw_probe(item, restrict)
+        return matches, float(max(inspected, 1))
+
+    def raw_probe(
+        self,
+        item: StreamTuple,
+        restrict: Callable[[StreamTuple], bool] | None = None,
+    ) -> tuple[list[StreamTuple], int]:
+        """Like :meth:`probe` but reporting the unfloored candidate count.
+
+        The epoch protocol probes several tag-partitioned sub-stores per
+        logical probe and applies the work floor once to the summed counts.
         """
         self._check_relation(item.relation)
         item_is_left = item.relation == self.left_relation
         opposite_index = self._indexes[
             self.right_relation if item_is_left else self.left_relation
         ]
-
         candidates, inspected = self._candidates(opposite_index, item, item_is_left)
+        if not candidates:
+            return [], inspected
+        check = self._check
+        if restrict is None:
+            if check is None:
+                # Exact-key fast path: the bucket is the match set.
+                return list(candidates), inspected
+            record = item.record
+            if item_is_left:
+                return [c for c in candidates if check(record, c.record)], inspected
+            return [c for c in candidates if check(c.record, record)], inspected
         matches = []
         record = item.record
-        predicate_matches = self.predicate.matches
         for candidate in candidates:
-            if restrict is not None and not restrict(candidate):
+            if not restrict(candidate):
                 continue
-            if item_is_left:
-                satisfied = predicate_matches(record, candidate.record)
-            else:
-                satisfied = predicate_matches(candidate.record, record)
-            if satisfied:
-                matches.append(candidate)
-        return matches, float(max(inspected, 1))
+            if check is not None:
+                if item_is_left:
+                    satisfied = check(record, candidate.record)
+                else:
+                    satisfied = check(candidate.record, record)
+                if not satisfied:
+                    continue
+            matches.append(candidate)
+        return matches, inspected
+
+    def candidate_count(self, item: StreamTuple) -> int:
+        """Candidates a probe of ``item`` would inspect, without materialising.
+
+        O(1) for hash/scan stores, O(log n) for ordered stores; used for
+        exact work accounting over unprobed epoch partitions.
+        """
+        item_is_left = item.relation == self.left_relation
+        opposite_index = self._indexes[
+            self.right_relation if item_is_left else self.left_relation
+        ]
+        kind = self.predicate.kind
+        if kind == "equi":
+            key = (
+                self._pred_left_key(item.record)
+                if item_is_left
+                else self._pred_right_key(item.record)
+            )
+            return opposite_index.count_key(key)
+        if kind == "band":
+            key = (
+                self._pred_left_key(item.record)
+                if item_is_left
+                else self._pred_right_key(item.record)
+            )
+            width = self._band_width
+            return opposite_index.count_range(key - width, key + width)
+        return len(opposite_index)
 
     def _candidates(
         self, opposite_index: JoinIndex, item: StreamTuple, item_is_left: bool
@@ -140,22 +267,171 @@ class LocalJoiner:
         kind = self.predicate.kind
         if kind == "equi":
             key = (
-                self.predicate.left_key(item.record)
+                self._pred_left_key(item.record)
                 if item_is_left
-                else self.predicate.right_key(item.record)
+                else self._pred_right_key(item.record)
             )
             return opposite_index.probe(key)
         if kind == "band":
             key = (
-                self.predicate.left_key(item.record)
+                self._pred_left_key(item.record)
                 if item_is_left
-                else self.predicate.right_key(item.record)
+                else self._pred_right_key(item.record)
             )
-            width = getattr(self.predicate, "width", None)
-            if width is None:
-                width = getattr(getattr(self.predicate, "primary", None), "width", 0.0)
+            width = self._band_width
             return opposite_index.probe_range(key - width, key + width)
         return opposite_index.probe(None)
+
+    # ------------------------------------------------------------ batch probe
+
+    def probe_batch(
+        self, items: Sequence[StreamTuple]
+    ) -> list[tuple[list[StreamTuple], float]]:
+        """Symmetrically insert+probe a whole micro-batch.
+
+        Semantically equivalent to, for each member in order: ``probe(member)``
+        then ``insert(member)`` — every member joins against everything stored
+        before it, including earlier batch members of the opposite relation
+        (intra-batch self-join semantics).  The vectorized engine runs one
+        lean pass over the live indexes: zero-copy bucket walks with
+        pre-extracted keys (hash), in-place band windows (ordered), and no
+        per-candidate validation when the exact-key fast path applies —
+        because the indexes are live, each member automatically sees every
+        earlier member of the opposite relation.
+
+        Returns:
+            Per-member ``(matches, work_units)``, aligned with ``items``.
+            Work accounting is identical to the per-member sequence: raw
+            candidate counts (pre-batch + earlier intra-batch candidates),
+            floored at 1 per member.
+        """
+        if self.engine != "vectorized":
+            # Reference semantics: the exact per-member sequence.
+            results = []
+            for item in items:
+                results.append(self.probe(item))
+                self.insert(item)
+            return results
+        kind = self.predicate.kind
+        if kind == "equi":
+            return self._probe_batch_equi(items)
+        if kind == "band":
+            return self._probe_batch_band(items)
+        return self._probe_batch_scan(items)
+
+    def _probe_batch_equi(
+        self, items: Sequence[StreamTuple]
+    ) -> list[tuple[list[StreamTuple], float]]:
+        # One lean pass over the live hash buckets: probing the opposite
+        # bucket in place (zero-copy) and appending each member under its
+        # already-extracted key.  Because the buckets are live, intra-batch
+        # self-join semantics fall out for free — each member sees every
+        # earlier member of the opposite relation.
+        left_relation = self.left_relation
+        right_relation = self.right_relation
+        left_key = self._pred_left_key
+        right_key = self._pred_right_key
+        left_index = self._indexes[left_relation]
+        right_index = self._indexes[right_relation]
+        check = self._check
+        results: list[tuple[list[StreamTuple], float]] = []
+        append = results.append
+        for item in items:
+            record = item.record
+            if item.relation == left_relation:
+                is_left = True
+                key = left_key(record)
+                bucket = right_index.bucket_for(key)
+            else:
+                if item.relation != right_relation:
+                    self._check_relation(item.relation)
+                is_left = False
+                key = right_key(record)
+                bucket = left_index.bucket_for(key)
+            if bucket:
+                if check is None:
+                    matches = list(bucket)
+                elif is_left:
+                    matches = [c for c in bucket if check(record, c.record)]
+                else:
+                    matches = [c for c in bucket if check(c.record, record)]
+                append((matches, float(len(bucket))))
+            else:
+                append(([], 1.0))
+            (left_index if is_left else right_index).insert_keyed(key, item)
+        return results
+
+    def _probe_batch_band(
+        self, items: Sequence[StreamTuple]
+    ) -> list[tuple[list[StreamTuple], float]]:
+        # Lean pass over the live ordered indexes: each member bisects its
+        # band window out of the opposite key list and is then inserted, so
+        # later members see it — intra-batch semantics without side
+        # structures.  (probe_range_batch's sort-merge cursor serves callers
+        # probing a static snapshot; here the index mutates between probes.)
+        left_relation = self.left_relation
+        right_relation = self.right_relation
+        left_key = self._pred_left_key
+        right_key = self._pred_right_key
+        width = self._band_width
+        left_index = self._indexes[left_relation]
+        right_index = self._indexes[right_relation]
+        check = self._check
+        results: list[tuple[list[StreamTuple], float]] = []
+        append = results.append
+        for item in items:
+            record = item.record
+            if item.relation == left_relation:
+                is_left = True
+                key = left_key(record)
+                candidates, inspected = right_index.probe_range(key - width, key + width)
+            else:
+                if item.relation != right_relation:
+                    self._check_relation(item.relation)
+                is_left = False
+                key = right_key(record)
+                candidates, inspected = left_index.probe_range(key - width, key + width)
+            if candidates:
+                if is_left:
+                    matches = [c for c in candidates if check(record, c.record)]
+                else:
+                    matches = [c for c in candidates if check(c.record, record)]
+                append((matches, float(max(inspected, 1))))
+            else:
+                append(([], 1.0))
+            (left_index if is_left else right_index).insert(item)
+        return results
+
+    def _probe_batch_scan(
+        self, items: Sequence[StreamTuple]
+    ) -> list[tuple[list[StreamTuple], float]]:
+        left_relation = self.left_relation
+        right_relation = self.right_relation
+        left_index = self._indexes[left_relation]
+        right_index = self._indexes[right_relation]
+        check = self._check
+        results: list[tuple[list[StreamTuple], float]] = []
+        append = results.append
+        for item in items:
+            record = item.record
+            if item.relation == left_relation:
+                is_left = True
+                candidates, inspected = right_index.probe(None)
+            else:
+                if item.relation != right_relation:
+                    self._check_relation(item.relation)
+                is_left = False
+                candidates, inspected = left_index.probe(None)
+            if candidates:
+                if is_left:
+                    matches = [c for c in candidates if check(record, c.record)]
+                else:
+                    matches = [c for c in candidates if check(c.record, record)]
+                append((matches, float(max(inspected, 1))))
+            else:
+                append(([], 1.0))
+            (left_index if is_left else right_index).insert(item)
+        return results
 
     # -------------------------------------------------------------- reporting
 
@@ -167,19 +443,35 @@ class LocalJoiner:
 class SymmetricHashJoiner(LocalJoiner):
     """Symmetric hash join (Wilschut & Apers); requires an equi predicate."""
 
-    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+    def __init__(
+        self,
+        predicate: JoinPredicate,
+        left_relation: str,
+        right_relation: str,
+        engine: str = "vectorized",
+    ) -> None:
         if predicate.kind != "equi":
             raise ValueError("SymmetricHashJoiner requires an equi-join predicate")
-        super().__init__(predicate, left_relation, right_relation)
+        super().__init__(predicate, left_relation, right_relation, engine=engine)
 
 
 class SortedBandJoiner(LocalJoiner):
-    """Sort/merge-flavoured local join with ordered indexes; for band predicates."""
+    """Sort/merge-flavoured local join with ordered indexes; for band predicates.
 
-    def __init__(self, predicate: JoinPredicate, left_relation: str, right_relation: str) -> None:
+    The band ``width`` is resolved once at construction (see
+    ``LocalJoiner._resolve_band_width``), not per probe.
+    """
+
+    def __init__(
+        self,
+        predicate: JoinPredicate,
+        left_relation: str,
+        right_relation: str,
+        engine: str = "vectorized",
+    ) -> None:
         if predicate.kind != "band":
             raise ValueError("SortedBandJoiner requires a band-join predicate")
-        super().__init__(predicate, left_relation, right_relation)
+        super().__init__(predicate, left_relation, right_relation, engine=engine)
 
 
 class NestedLoopJoiner(LocalJoiner):
@@ -187,11 +479,14 @@ class NestedLoopJoiner(LocalJoiner):
 
 
 def make_local_joiner(
-    predicate: JoinPredicate, left_relation: str, right_relation: str
+    predicate: JoinPredicate,
+    left_relation: str,
+    right_relation: str,
+    engine: str = "vectorized",
 ) -> LocalJoiner:
     """Pick the local algorithm matching the predicate kind."""
     if predicate.kind == "equi":
-        return SymmetricHashJoiner(predicate, left_relation, right_relation)
+        return SymmetricHashJoiner(predicate, left_relation, right_relation, engine=engine)
     if predicate.kind == "band":
-        return SortedBandJoiner(predicate, left_relation, right_relation)
-    return NestedLoopJoiner(predicate, left_relation, right_relation)
+        return SortedBandJoiner(predicate, left_relation, right_relation, engine=engine)
+    return NestedLoopJoiner(predicate, left_relation, right_relation, engine=engine)

@@ -12,7 +12,12 @@ A predicate therefore exposes three things:
 * ``matches(left, right)`` — the truth value of the condition,
 * ``kind`` — ``"equi"``, ``"band"`` or ``"theta"``, advertising which index
   type can serve it,
-* key extractors for the indexed kinds.
+* key extractors for the indexed kinds,
+* ``exact_key`` / ``residual_matches`` — whether an exact-key hash probe
+  already decides the primary condition, and the residual part (if any) that
+  still has to run per candidate pair.  The probe engine uses this to skip
+  re-validating equality for hash candidates (the bucket key *is* the
+  predicate) while still applying composite residual filters.
 """
 
 from __future__ import annotations
@@ -28,6 +33,41 @@ class JoinPredicate:
 
     #: one of "equi", "band", "theta"
     kind: str = "theta"
+
+    @property
+    def exact_key(self) -> bool:
+        """Whether an exact-key hash probe fully decides the primary condition.
+
+        When True, every candidate returned from the matching hash bucket is
+        guaranteed to satisfy the primary predicate (key equality *is* bucket
+        membership), so only :meth:`residual_matches` needs to run per pair.
+        """
+        return False
+
+    @property
+    def has_residual(self) -> bool:
+        """Whether :meth:`residual_matches` is non-trivial for this predicate."""
+        return True
+
+    def residual_matches(self, left: Record, right: Record) -> bool:
+        """The part of the condition an exact-key probe does *not* guarantee.
+
+        Defaults to the full condition; exact-key predicates override it with
+        their residual-only check (or a constant True).
+        """
+        return self.matches(left, right)
+
+    def residual_check(self) -> Callable[[Record, Record], bool] | None:
+        """The leanest per-candidate check for exact-key index candidates.
+
+        Returns ``None`` when bucket membership alone decides the predicate
+        (no per-pair work at all), otherwise a callable evaluating just the
+        residual part.  Resolved once per joiner at construction, not per
+        probe.
+        """
+        if not self.has_residual:
+            return None
+        return self.residual_matches
 
     def matches(self, left: Record, right: Record) -> bool:
         """Whether the pair ``(left, right)`` satisfies the join condition."""
@@ -53,6 +93,17 @@ class EquiPredicate(JoinPredicate):
     left_attr: str
     right_attr: str
     kind: str = field(default="equi", init=False)
+
+    @property
+    def exact_key(self) -> bool:
+        return True
+
+    @property
+    def has_residual(self) -> bool:
+        return False
+
+    def residual_matches(self, left: Record, right: Record) -> bool:
+        return True
 
     def matches(self, left: Record, right: Record) -> bool:
         return left[self.left_attr] == right[self.right_attr]
@@ -136,10 +187,46 @@ class CompositePredicate(JoinPredicate):
     def __post_init__(self) -> None:
         self.kind = self.primary.kind
 
+    @property
+    def exact_key(self) -> bool:
+        return self.primary.exact_key
+
+    @property
+    def has_residual(self) -> bool:
+        return bool(self.residuals) or self.primary.has_residual
+
+    def residual_matches(self, left: Record, right: Record) -> bool:
+        if self.primary.has_residual and not self.primary.residual_matches(left, right):
+            return False
+        for residual in self.residuals:
+            if not residual(left, right):
+                return False
+        return True
+
+    def residual_check(self) -> Callable[[Record, Record], bool] | None:
+        if self.primary.has_residual:
+            return self.residual_matches
+        residuals = tuple(self.residuals)
+        if not residuals:
+            return None
+        if len(residuals) == 1:
+            return residuals[0]
+
+        def check(left: Record, right: Record) -> bool:
+            for residual in residuals:
+                if not residual(left, right):
+                    return False
+            return True
+
+        return check
+
     def matches(self, left: Record, right: Record) -> bool:
         if not self.primary.matches(left, right):
             return False
-        return all(residual(left, right) for residual in self.residuals)
+        for residual in self.residuals:
+            if not residual(left, right):
+                return False
+        return True
 
     def left_key(self, left: Record) -> Any:
         return self.primary.left_key(left)

@@ -60,8 +60,9 @@ class RippleJoiner(LocalJoiner):
         left_relation: str,
         right_relation: str,
         block_size: int = 16,
+        engine: str = "vectorized",
     ) -> None:
-        super().__init__(predicate, left_relation, right_relation)
+        super().__init__(predicate, left_relation, right_relation, engine=engine)
         self.block_size = block_size
         self._matches_seen = 0
         self._pairs_examined = 0
@@ -72,6 +73,26 @@ class RippleJoiner(LocalJoiner):
         self._matches_seen += len(matches)
         self._pairs_examined += opposite_count
         return matches, work
+
+    def probe_batch(self, items):
+        # Route through probe() per member so the selectivity sample
+        # (_matches_seen/_pairs_examined) keeps accumulating; the base
+        # class's vectorized paths probe the indexes directly and would
+        # silently skip the running-estimate counters.
+        results = []
+        for item in items:
+            results.append(self.probe(item))
+            self.insert(item)
+        return results
+
+    def fresh(self) -> "RippleJoiner":
+        return type(self)(
+            self.predicate,
+            self.left_relation,
+            self.right_relation,
+            block_size=self.block_size,
+            engine=self.engine,
+        )
 
     def running_estimate(
         self, total_left: int, total_right: int

@@ -6,6 +6,12 @@ migrations and the same final mapping as the per-tuple data plane
 (``batch_size=1``), which itself reproduces the seed behaviour
 event-for-event.  Both runs are fed the *same* arrival order (the same
 ``StreamTuple`` objects) so tuple ids and salts are directly comparable.
+
+The vectorized probe engine is additionally pinned against the per-member
+(per-tuple) probe path: at every batch size, running the same workload with
+``probe_engine="scalar"`` must charge exactly the same total ``probe_work``
+and produce an identical simulation (outputs and virtual completion time) —
+the batch-aware probes are a wall-clock optimisation only.
 """
 
 import random
@@ -46,6 +52,23 @@ def _assert_equivalent(operator_class, query, **kwargs):
         assert batched.migrations == reference.migrations
         assert batched.final_mapping == reference.final_mapping
         assert batched.output_count == reference.output_count
+        # Exact work accounting: the vectorized probe engine must charge
+        # per-run probe work identical to the per-member scalar path, at
+        # every batch size (probe_work floats are integer-valued sums, so
+        # exact equality is well-defined).
+        scalar = _run(
+            operator_class, query, order, batch_size=batch_size,
+            probe_engine="scalar", **kwargs,
+        )
+        assert batched.probe_work > 0
+        assert batched.probe_work == scalar.probe_work, (
+            f"batch_size={batch_size}: vectorized probe engine changed the "
+            "charged probe work"
+        )
+        assert sorted(scalar.outputs) == sorted(batched.outputs)
+        assert scalar.execution_time == batched.execution_time, (
+            f"batch_size={batch_size}: probe engine changed simulated time"
+        )
 
 
 class TestBatchedEquivalence:

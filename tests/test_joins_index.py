@@ -48,6 +48,35 @@ class TestHashIndex:
         assert sorted(t.record["k"] for t in candidates) == [2, 3, 4]
         assert inspected == 10
 
+    def test_probe_returns_live_bucket_without_copy(self):
+        index = HashIndex(_key)
+        a = _tuple("R", k=1)
+        index.insert(a)
+        first, _ = index.probe(1)
+        second, _ = index.probe(1)
+        assert first is second  # the live bucket, not a fresh copy
+
+    def test_probe_batch_groups_keys(self):
+        index = HashIndex(_key)
+        items = [_tuple("R", k=value % 3) for value in range(9)]
+        for item in items:
+            index.insert(item)
+        results = index.probe_batch([0, 1, 0, 7])
+        assert [inspected for _c, inspected in results] == [3, 3, 3, 0]
+        assert results[0][0] is results[2][0]  # repeated key reuses the bucket
+        assert results[3][0] == []
+
+    def test_count_key_and_total_size(self):
+        index = HashIndex(_key)
+        for value in (1, 1, 2):
+            index.insert(StreamTuple(relation="R", record={"k": value}, size=2.0))
+        assert index.count_key(1) == 2
+        assert index.count_key(9) == 0
+        assert index.total_size == 6.0
+        item = next(iter(index.items()))
+        index.remove(item)
+        assert index.total_size == 4.0
+
 
 class TestOrderedIndex:
     def test_range_probe(self):
@@ -86,6 +115,50 @@ class TestOrderedIndex:
         candidates, _ = index.probe_range(low, high)
         expected = sorted(t.tuple_id for t in items if low <= t.record["k"] <= high)
         assert sorted(t.tuple_id for t in candidates) == expected
+
+    def test_probe_range_reports_raw_candidate_count(self):
+        # The one-unit work floor lives in LocalJoiner.probe, not here.
+        index = OrderedIndex(_key)
+        index.insert(_tuple("R", k=10))
+        candidates, inspected = index.probe_range(1, 2)
+        assert candidates == [] and inspected == 0
+        assert index.count_range(1, 2) == 0
+        assert index.count_range(9, 11) == 1
+
+    @given(st.lists(st.integers(-50, 50), min_size=0, max_size=40),
+           st.lists(st.integers(-50, 50), min_size=0, max_size=40))
+    @settings(max_examples=60)
+    def test_bulk_insert_matches_sequential_inserts(self, first, second):
+        sequential = OrderedIndex(_key)
+        bulk = OrderedIndex(_key)
+        for value in first:
+            sequential.insert(_tuple("R", k=value))
+            bulk.insert(_tuple("R", k=value))
+        extra = [_tuple("R", k=value) for value in second]
+        for item in extra:
+            sequential.insert(item)
+        bulk.bulk_insert(extra)
+        assert len(bulk) == len(sequential)
+        assert [_key(t) for t in bulk.items()] == [_key(t) for t in sequential.items()]
+        assert bulk.total_size == sequential.total_size
+        low, high = -10, 10
+        assert bulk.count_range(low, high) == sequential.count_range(low, high)
+
+    @given(st.lists(st.tuples(st.integers(-30, 30), st.integers(-30, 30)),
+                    min_size=0, max_size=25))
+    @settings(max_examples=60)
+    def test_probe_range_batch_matches_single_probes(self, range_specs):
+        index = OrderedIndex(_key)
+        for value in range(-20, 21, 3):
+            index.insert(_tuple("R", k=value))
+        ranges = [(min(a, b), max(a, b)) for a, b in range_specs]
+        batched = index.probe_range_batch(ranges)
+        for (low, high), (candidates, inspected) in zip(ranges, batched):
+            single_candidates, single_inspected = index.probe_range(low, high)
+            assert [t.tuple_id for t in candidates] == [
+                t.tuple_id for t in single_candidates
+            ]
+            assert inspected == single_inspected
 
 
 class TestScanIndex:

@@ -77,6 +77,19 @@ class TestSymmetricHashJoiner:
         with pytest.raises(KeyError):
             joiner.insert(StreamTuple(relation="T", record={"k": 1}))
 
+    def test_stored_size_tracks_inserts_and_removals(self):
+        predicate = EquiPredicate("k", "k")
+        joiner = SymmetricHashJoiner(predicate, "R", "S")
+        items = [
+            StreamTuple(relation=rel, record={"k": i}, size=1.5)
+            for i, rel in enumerate(("R", "S", "R"))
+        ]
+        for item in items:
+            joiner.insert(item)
+        assert joiner.stored_size() == pytest.approx(4.5)
+        joiner.remove(items[0])
+        assert joiner.stored_size() == pytest.approx(3.0)
+
     def test_restrict_filters_candidates(self):
         predicate = EquiPredicate("k", "k")
         joiner = SymmetricHashJoiner(predicate, "R", "S")

@@ -77,6 +77,47 @@ class TestThetaAndComposite:
         assert named.describe() == "custom"
 
 
+class TestExactKeyContract:
+    def test_equi_is_exact_key_with_no_residual(self):
+        predicate = EquiPredicate("a", "b")
+        assert predicate.exact_key
+        assert not predicate.has_residual
+        assert predicate.residual_check() is None
+        assert predicate.residual_matches({"a": 1}, {"b": 99})
+
+    def test_band_and_theta_are_not_exact_key(self):
+        assert not BandPredicate("x", "y", width=1).exact_key
+        assert not ThetaPredicate(lambda l, r: True).exact_key
+        assert not NotEqualPredicate("a", "a").exact_key
+
+    def test_composite_exact_key_runs_residuals_only(self):
+        predicate = CompositePredicate(
+            EquiPredicate("k", "k"), residuals=[lambda l, r: l["v"] > 10]
+        )
+        assert predicate.exact_key
+        assert predicate.has_residual
+        check = predicate.residual_check()
+        # The residual check skips the (index-guaranteed) key equality.
+        assert check({"k": 1, "v": 11}, {"k": 999})
+        assert not check({"k": 1, "v": 5}, {"k": 1})
+
+    def test_composite_without_residuals_is_exact_hit(self):
+        predicate = CompositePredicate(EquiPredicate("k", "k"))
+        assert predicate.exact_key
+        assert not predicate.has_residual
+        assert predicate.residual_check() is None
+
+    def test_composite_multiple_residuals_combined(self):
+        predicate = CompositePredicate(
+            EquiPredicate("k", "k"),
+            residuals=[lambda l, r: l["v"] > 0, lambda l, r: r["w"] < 5],
+        )
+        check = predicate.residual_check()
+        assert check({"k": 1, "v": 1}, {"k": 1, "w": 0})
+        assert not check({"k": 1, "v": 0}, {"k": 1, "w": 0})
+        assert not check({"k": 1, "v": 1}, {"k": 1, "w": 9})
+
+
 class TestCrossJoinReference:
     def test_counts_matching_pairs(self):
         left = [{"k": 1}, {"k": 2}]
