@@ -12,7 +12,8 @@ Run with::
 
 import random
 
-from repro import AdaptiveJoinOperator, generate_dataset, make_query
+from repro import generate_dataset, make_query
+from repro.api import JoinSession, RunConfig
 from repro.core.decision import competitive_ratio_bound
 from repro.engine.stream import fluctuating_order, make_tuples
 
@@ -30,8 +31,10 @@ def main() -> None:
     warmup = (len(left) + len(right)) // 100   # initiate adaptivity after ~1% of the input
     order = fluctuating_order(left, right, fluctuation_factor=fluctuation_factor, warmup=warmup)
 
-    operator = AdaptiveJoinOperator(query, machines, seed=17, warmup_tuples=float(warmup))
-    result = operator.run(arrival_order=order)
+    session = JoinSession(
+        query, config=RunConfig(machines=machines, seed=17, warmup_tuples=float(warmup))
+    )
+    result = session.run(arrival_order=order)
 
     print()
     print(f"fluctuation factor k = {fluctuation_factor}, {machines} joiners")

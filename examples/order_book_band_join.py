@@ -17,7 +17,8 @@ Run with::
 
 import random
 
-from repro import AdaptiveJoinOperator, BandPredicate, StaticMidOperator
+from repro import BandPredicate
+from repro.api import JoinSession, RunConfig
 from repro.data.queries import JoinQuery
 
 
@@ -52,9 +53,9 @@ def main() -> None:
     print(query.summary())
     print()
 
-    machines = 16
-    dynamic = AdaptiveJoinOperator(query, machines, seed=11).run()
-    static = StaticMidOperator(query, machines, seed=11).run()
+    session = JoinSession(query, config=RunConfig(machines=16, seed=11))
+    dynamic = session.run(operator="Dynamic")
+    static = session.run(operator="StaticMid")
 
     print(f"{'operator':<12} {'exec time':>10} {'max ILF':>9} {'matches':>9} {'mapping':>9}")
     for result in (dynamic, static):

@@ -1,24 +1,23 @@
-"""Quickstart: run the adaptive online join operator on a skewed TPC-H-like workload.
+"""Quickstart: the session API on a skewed TPC-H-like workload.
 
-This reproduces, at laptop scale, the headline comparison of the paper: the
+This reproduces, at laptop scale, the headline comparison of the paper — the
 adaptive operator (Dynamic) against the static square-grid operator
 (StaticMid), the omniscient static operator (StaticOpt) and the
 content-sensitive parallel symmetric hash join (SHJ) on the EQ5 equi-join
-under heavy key skew.
+under heavy key skew — and then re-runs the winner in *streaming* mode,
+pushing the input in chunks through the same session facade.
+
+Everything goes through :mod:`repro.api`: one validated
+:class:`~repro.api.RunConfig` carries every knob, and one
+:class:`~repro.api.JoinSession` runs any registered operator kind.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import (
-    AdaptiveJoinOperator,
-    StaticMidOperator,
-    StaticOptOperator,
-    SymmetricHashOperator,
-    generate_dataset,
-    make_query,
-)
+from repro import generate_dataset, make_query
+from repro.api import JoinSession, RunConfig
 
 
 def main() -> None:
@@ -29,21 +28,15 @@ def main() -> None:
     print(query.summary())
     print()
 
-    machines = 16
-    operators = [
-        SymmetricHashOperator(query, machines, seed=7),
-        StaticMidOperator(query, machines, seed=7),
-        AdaptiveJoinOperator(query, machines, seed=7),
-        StaticOptOperator(query, machines, seed=7),
-    ]
+    # 2. One config, one session; the operator kind is a per-run choice.
+    config = RunConfig(machines=16, seed=7)
+    session = JoinSession(query, config=config)
 
-    # 2. Run each operator on the same input stream inside the simulated
-    #    shared-nothing cluster and compare the metrics the paper reports.
     header = f"{'operator':<12} {'exec time':>10} {'throughput':>11} {'max ILF':>9} {'storage':>9} {'migrations':>11} {'mapping':>9}"
     print(header)
     print("-" * len(header))
-    for operator in operators:
-        result = operator.run()
+    for kind in ("SHJ", "StaticMid", "Dynamic", "StaticOpt"):
+        result = session.run(operator=kind)
         print(
             f"{result.operator:<12} {result.execution_time:>10.1f} {result.throughput:>11.2f} "
             f"{result.max_ilf:>9.1f} {result.total_storage:>9.1f} {result.migrations:>11d} "
@@ -54,6 +47,32 @@ def main() -> None:
     print(
         "Expected shape (cf. Table 2 / Fig. 6): Dynamic tracks StaticOpt, both "
         "clearly beat StaticMid, and SHJ collapses under skew."
+    )
+
+    # 3. Streaming mode: the same workload pushed in chunks.  The session
+    #    feeds each chunk into a live, resumable simulation and reports
+    #    mid-run metrics after every push — the ingestion style of an
+    #    unbounded/live-stream deployment, which the materialised path
+    #    cannot express.
+    print()
+    print("streaming the same workload in 4 chunks (Dynamic):")
+    streaming = JoinSession(query, config=config)
+    left, right = query.left_records, query.right_records
+    chunks = 4
+    for i in range(chunks):
+        snap = streaming.push(
+            left=left[i * len(left) // chunks:(i + 1) * len(left) // chunks],
+            right=right[i * len(right) // chunks:(i + 1) * len(right) // chunks],
+        )
+        print(
+            f"  chunk {i + 1}: {snap.tuples_pushed:>5d} tuples in, "
+            f"{snap.output_count:>6d} outputs, {snap.migrations} migration(s), "
+            f"mapping {snap.mapping}, virtual time {snap.virtual_time:.1f}"
+        )
+    final = streaming.finish()
+    print(
+        f"  final  : {final.output_count} outputs, mapping {final.final_mapping}, "
+        f"execution time {final.execution_time:.1f}"
     )
 
 

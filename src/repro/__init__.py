@@ -12,18 +12,33 @@ dataflow operator together with every substrate its evaluation depends on:
 * :mod:`repro.data`    — TPC-H-like generation with Zipf skew and the
   evaluation queries,
 * :mod:`repro.bench`   — the experiment harness regenerating every table and
-  figure of §5.
+  figure of §5,
+* :mod:`repro.api`     — the public session API: typed
+  :class:`~repro.api.RunConfig`, the :class:`~repro.api.JoinSession` facade
+  (materialised and streaming ingestion) and the operator/probe-engine/
+  predicate registries.
 
 Quickstart::
 
-    from repro import AdaptiveJoinOperator, generate_dataset, make_query
+    from repro import JoinSession, RunConfig, generate_dataset, make_query
 
     dataset = generate_dataset(scale=0.5, skew="Z4", seed=7)
     query = make_query("EQ5", dataset)
-    result = AdaptiveJoinOperator(query, machines=16, seed=7).run()
+    session = JoinSession(query, config=RunConfig(machines=16, seed=7))
+    result = session.run()                      # materialised
+    session.push(left=chunk_a, right=chunk_b)   # ... or streaming
     print(result.summary_row())
 """
 
+from repro.api import (
+    JoinSession,
+    RunConfig,
+    StreamSnapshot,
+    build_operator,
+    register_operator,
+    register_predicate,
+    register_probe_engine,
+)
 from repro.core import (
     AdaptiveJoinOperator,
     GridJoinOperator,
@@ -58,19 +73,26 @@ __all__ = [
     "JoinMatrix",
     "JoinPredicate",
     "JoinQuery",
+    "JoinSession",
     "Mapping",
     "MigrationController",
+    "RunConfig",
     "RunResult",
     "Simulator",
     "StaticMidOperator",
     "StaticOptOperator",
+    "StreamSnapshot",
     "SymmetricHashOperator",
     "ThetaPredicate",
     "TpchDataset",
+    "build_operator",
     "generate_dataset",
     "make_operator",
     "make_query",
     "optimal_mapping",
+    "register_operator",
+    "register_predicate",
+    "register_probe_engine",
     "square_mapping",
     "__version__",
 ]

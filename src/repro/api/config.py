@@ -1,0 +1,190 @@
+"""The typed run configuration — single source of truth for every run knob.
+
+Historically every entry point wired the operator up differently:
+``GridJoinOperator.__init__`` took ~14 loose keyword arguments, the bench
+layer's ``ExperimentConfig`` re-declared an overlapping subset with different
+defaults, and benchmarks/examples hand-rolled the plumbing in between.
+:class:`RunConfig` replaces all of that: one frozen, eagerly validated
+dataclass holding every operator/run knob, shared verbatim by the operator
+layer, the :class:`~repro.api.session.JoinSession` facade, the bench harness
+and the CLI (``--config file.json``).
+
+Validation happens at construction — an invalid ``probe_engine`` or
+``layout`` fails immediately with the registered choices listed, instead of
+deep inside ``LocalJoiner`` / ``GridPlacement`` construction mid-run.
+
+``to_dict()`` / ``from_dict()`` round-trip exactly (pinned by tests), so a
+config can be serialised into CI breadcrumbs and fed back through the CLI.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any
+
+# Importing the built-in engine/predicate registrations; keeps validation
+# meaningful even when repro.api.config is imported before the rest of repro.
+import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
+from repro.api.registry import LAYOUTS, probe_engines
+
+#: Arrival interleavings understood by the stream layer
+#: (see :func:`repro.engine.stream.interleave_streams`).
+ARRIVAL_PATTERNS = ("uniform", "alternate", "r_first", "s_first")
+
+
+@dataclass(frozen=True, slots=True)
+class RunConfig:
+    """Every knob of one operator run, validated eagerly, immutable.
+
+    Field defaults are the *operator's* tuned defaults (e.g. ``batch_size=None``
+    selects the batched data plane's ``DEFAULT_BATCH_SIZE``); layers that need
+    different reference semantics (the paper-figure drivers pin
+    ``batch_size=1``) say so explicitly instead of re-declaring defaults.
+
+    Attributes:
+        machines: number of joiners J (the operator requires a power of two).
+        seed: seed controlling tuple salts, arrival interleaving and routing.
+        epsilon: the ε of Theorem 4.2 (1.0 = Algorithm 2 as published).
+        warmup_tuples: minimum estimated global tuple count before the first
+            migration may be considered; ``None`` = ``4.0 * machines``.
+        layout: machine-to-cell layout, ``"dyadic"`` or ``"row_major"``.
+        blocking: model the blocking actuation protocol instead of Alg. 3.
+        memory_capacity: per-machine storage budget; ``None`` = unbounded.
+        sample_every: controller sampling period for ILF/ratio time series.
+        batch_size: data-plane micro-batch size; ``None`` selects the tuned
+            default (64), ``1`` the per-tuple reference plane.
+        probe_engine: joiner probe engine; must name a registered engine.
+        arrival_pattern: interleaving of the two input streams (pacing).
+        inter_arrival: virtual-time gap between consecutive arrivals (pacing;
+            0 = joiners fully utilised).
+    """
+
+    machines: int = 16
+    seed: int = 0
+    epsilon: float = 1.0
+    warmup_tuples: float | None = None
+    layout: str = "dyadic"
+    blocking: bool = False
+    memory_capacity: float | None = None
+    sample_every: int = 200
+    batch_size: int | None = None
+    probe_engine: str = "vectorized"
+    arrival_pattern: str = "uniform"
+    inter_arrival: float = 0.0
+
+    # ------------------------------------------------------------- validation
+
+    def _check_types(self) -> None:
+        expectations = (
+            ("machines", self.machines, int, False),
+            ("seed", self.seed, int, False),
+            ("epsilon", self.epsilon, (int, float), False),
+            ("warmup_tuples", self.warmup_tuples, (int, float), True),
+            ("layout", self.layout, str, False),
+            ("blocking", self.blocking, bool, False),
+            ("memory_capacity", self.memory_capacity, (int, float), True),
+            ("sample_every", self.sample_every, int, False),
+            ("batch_size", self.batch_size, int, True),
+            ("probe_engine", self.probe_engine, str, False),
+            ("arrival_pattern", self.arrival_pattern, str, False),
+            ("inter_arrival", self.inter_arrival, (int, float), False),
+        )
+        for name, value, types, optional in expectations:
+            if optional and value is None:
+                continue
+            valid = isinstance(value, types)
+            if valid and types is not bool and isinstance(value, bool):
+                valid = False  # bool is an int subclass; numeric knobs reject it
+            if not valid:
+                expected = types.__name__ if isinstance(types, type) else "int | float"
+                raise ValueError(
+                    f"RunConfig.{name} must be {'None or ' if optional else ''}"
+                    f"of type {expected}, got {value!r}"
+                )
+
+    def __post_init__(self) -> None:
+        self._check_types()
+        if self.machines < 1:
+            raise ValueError(f"machines must be >= 1, got {self.machines}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {self.epsilon}")
+        if self.warmup_tuples is not None and self.warmup_tuples < 0:
+            raise ValueError(f"warmup_tuples must be >= 0, got {self.warmup_tuples}")
+        if self.layout not in LAYOUTS:
+            raise ValueError(
+                f"unknown layout {self.layout!r}; choices: {', '.join(LAYOUTS)}"
+            )
+        if self.memory_capacity is not None and self.memory_capacity <= 0:
+            raise ValueError(
+                f"memory_capacity must be positive or None, got {self.memory_capacity}"
+            )
+        if self.sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {self.sample_every}")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1 or None, got {self.batch_size}")
+        if self.probe_engine not in probe_engines:
+            raise ValueError(
+                f"unknown probe engine {self.probe_engine!r}; registered choices: "
+                f"{', '.join(probe_engines.names())}"
+            )
+        if self.arrival_pattern not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival_pattern {self.arrival_pattern!r}; "
+                f"choices: {', '.join(ARRIVAL_PATTERNS)}"
+            )
+        if self.inter_arrival < 0:
+            raise ValueError(f"inter_arrival must be >= 0, got {self.inter_arrival}")
+
+    # -------------------------------------------------------------- overrides
+
+    def with_overrides(self, **overrides: Any) -> "RunConfig":
+        """A copy with ``overrides`` applied (and re-validated).
+
+        Unknown keys raise immediately with the accepted field names listed —
+        a typo can never silently fall through to an untyped kwargs dict.
+        """
+        if not overrides:
+            return self
+        self._check_keys(overrides)
+        return dataclasses.replace(self, **overrides)
+
+    @classmethod
+    def _check_keys(cls, mapping: dict[str, Any]) -> None:
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(mapping) - fields)
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig field(s): {', '.join(unknown)}; "
+                f"accepted: {', '.join(sorted(fields))}"
+            )
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-safe dict such that ``RunConfig.from_dict(c.to_dict()) == c``."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunConfig":
+        """Rebuild a config from :meth:`to_dict` output (validates keys/values)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"RunConfig.from_dict expects a dict, got {type(data).__name__}")
+        cls._check_keys(data)
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """The config as a JSON object string (CI breadcrumbs, ``--config``)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunConfig":
+        """Parse a JSON object string produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "RunConfig":
+        """Load a config from a JSON file (the CLI's ``--config file.json``)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))

@@ -5,8 +5,18 @@ Run any table/figure of the paper's evaluation directly, without pytest::
     python -m repro.bench table2 --scale 0.5 --machines 16
     python -m repro.bench fig6a fig6d --scale 0.4
     python -m repro.bench all --scale 0.25 --machines 8
+    python -m repro.bench fig7a --config run-config.json
 
 The output is the same plain-text report the corresponding benchmark prints.
+
+``--config`` loads a serialised :class:`repro.api.RunConfig` (the format
+:meth:`RunConfig.to_dict` emits, e.g. a ``run_config`` block of a CI
+``perf-breadcrumb.json``): its ``machines`` / ``seed`` become the drivers'
+defaults, overridable by the explicit ``--machines`` / ``--seed`` flags.
+The figure drivers pin their remaining knobs themselves (they regenerate the
+paper's evaluation, e.g. ``batch_size=1`` reference semantics), so any other
+non-default field in the file is reported as ignored; to run an arbitrary
+config programmatically, use :class:`repro.api.JoinSession` directly.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ import argparse
 import inspect
 from typing import Callable
 
+from repro.api import RunConfig
 from repro.bench import experiments
 
 #: Experiment name -> driver function.
@@ -55,8 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"experiments to run: {', '.join(sorted(DRIVERS))}, or 'all'",
     )
     parser.add_argument("--scale", type=float, default=0.4, help="dataset scale factor")
-    parser.add_argument("--machines", type=int, default=16, help="number of joiners (power of two)")
-    parser.add_argument("--seed", type=int, default=1, help="random seed")
+    parser.add_argument(
+        "--machines", type=int, default=None, help="number of joiners (power of two)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="random seed")
+    parser.add_argument(
+        "--config",
+        metavar="FILE.json",
+        default=None,
+        help="load a serialised repro.api.RunConfig; explicit flags override it",
+    )
     return parser
 
 
@@ -72,7 +91,25 @@ def run(argv: list[str] | None = None) -> list[experiments.ExperimentReport]:
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
 
-    shared = {"scale": args.scale, "machines": args.machines, "seed": args.seed}
+    base = RunConfig(machines=16, seed=1)
+    if args.config is not None:
+        try:
+            base = RunConfig.from_file(args.config)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load --config {args.config}: {exc}")
+        ignored = {
+            name: value
+            for name, value in base.to_dict().items()
+            if name not in ("machines", "seed") and value != getattr(RunConfig(), name)
+        }
+        if ignored:
+            print(
+                "note: the figure drivers pin their own run knobs; ignoring "
+                f"non-default --config field(s): {', '.join(sorted(ignored))}"
+            )
+    machines = args.machines if args.machines is not None else base.machines
+    seed = args.seed if args.seed is not None else base.seed
+    shared = {"scale": args.scale, "machines": machines, "seed": seed}
     reports = []
     for name in names:
         driver = DRIVERS[name]
@@ -80,7 +117,7 @@ def run(argv: list[str] | None = None) -> list[experiments.ExperimentReport]:
             # weak scaling is parameterised by its base configuration
             kwargs = _supported_kwargs(
                 driver,
-                {"base_scale": args.scale / 2, "base_machines": max(4, args.machines // 2), "seed": args.seed},
+                {"base_scale": args.scale / 2, "base_machines": max(4, machines // 2), "seed": seed},
             )
         else:
             kwargs = _supported_kwargs(driver, shared)

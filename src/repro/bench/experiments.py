@@ -16,12 +16,11 @@ import random
 import time
 from dataclasses import dataclass, field
 
+from repro.api import JoinSession, RunConfig
 from repro.bench.harness import ExperimentConfig, build_query, run_single
 from repro.bench.report import format_series, format_table
-from repro.core.baselines import make_operator
 from repro.core.decision import competitive_ratio_bound
 from repro.core.mapping import Mapping, optimal_mapping
-from repro.core.operator import AdaptiveJoinOperator
 from repro.data.queries import JoinQuery
 from repro.engine.stream import fluctuating_order, make_tuples
 
@@ -433,14 +432,16 @@ def fig8cd_fluctuations(
         total = len(left) + len(right)
         warmup = max(64, total // 100)
         order = fluctuating_order(left, right, fluctuation_factor=factor, warmup=warmup)
-        operator = AdaptiveJoinOperator(
+        session = JoinSession(
             query,
-            machines,
-            seed=seed,
-            epsilon=epsilon,
-            warmup_tuples=float(warmup),
+            config=RunConfig(
+                machines=machines,
+                seed=seed,
+                epsilon=epsilon,
+                warmup_tuples=float(warmup),
+            ),
         )
-        result = operator.run(arrival_order=order)
+        result = session.run(arrival_order=order)
         post_init = [ratio for processed, ratio in result.ratio_series if processed > warmup * 2]
         max_ratio = max(post_init) if post_init else result.max_competitive_ratio
         rows.append(
@@ -544,8 +545,10 @@ def ablation_epsilon(
     config = ExperimentConfig(machines=machines, scale=scale, skew="Z0", seed=seed)
     query = build_query("EQ5", config)
     for epsilon in epsilons:
-        operator = AdaptiveJoinOperator(query, machines, seed=seed, epsilon=epsilon)
-        result = operator.run(arrival_pattern="s_first")
+        session = JoinSession(
+            query, config=RunConfig(machines=machines, seed=seed, epsilon=epsilon)
+        )
+        result = session.run(arrival_pattern="s_first")
         rows.append(
             {
                 "epsilon": epsilon,
@@ -567,8 +570,10 @@ def ablation_migration_strategy(
     config = ExperimentConfig(machines=machines, scale=scale, skew="Z0", seed=seed)
     query = build_query("EQ5", config)
     for layout in ("dyadic", "row_major"):
-        operator = AdaptiveJoinOperator(query, machines, seed=seed, layout=layout)
-        result = operator.run(arrival_pattern="s_first")
+        session = JoinSession(
+            query, config=RunConfig(machines=machines, seed=seed, layout=layout)
+        )
+        result = session.run(arrival_pattern="s_first")
         rows.append(
             {
                 "layout": layout,
@@ -589,8 +594,10 @@ def ablation_blocking(
     config = ExperimentConfig(machines=machines, scale=scale, skew="Z0", seed=seed)
     query = build_query("EQ5", config)
     for blocking in (False, True):
-        operator = AdaptiveJoinOperator(query, machines, seed=seed, blocking=blocking)
-        result = operator.run(arrival_pattern="s_first")
+        session = JoinSession(
+            query, config=RunConfig(machines=machines, seed=seed, blocking=blocking)
+        )
+        result = session.run(arrival_pattern="s_first")
         rows.append(
             {
                 "actuation": "blocking" if blocking else "non-blocking",

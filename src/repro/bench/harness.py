@@ -1,11 +1,20 @@
-"""Workload × operator execution harness."""
+"""Workload × operator execution harness.
+
+The harness is a thin adapter between the experiment drivers and the public
+:mod:`repro.api` session layer: :class:`ExperimentConfig` combines the
+dataset knobs (scale, skew) with a :class:`~repro.api.config.RunConfig`, and
+:func:`run_single` executes through a :class:`~repro.api.session.JoinSession`
+— no operator is constructed outside ``repro.api`` anywhere in the bench
+layer.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
-from repro.core.baselines import make_operator
+from repro.api import JoinSession, RunConfig
+from repro.api.session import OPERATOR_ONLY_KWARGS
 from repro.core.results import RunResult
 from repro.data.queries import JoinQuery, make_query
 from repro.data.tpch import generate_dataset
@@ -31,6 +40,9 @@ class ExperimentConfig:
             by up to batch_size tuples per reshuffler, which moves marginal
             virtual-time comparisons at benchmark scales).  Pass ``None`` for
             the operator's tuned batched default, or an explicit size.
+        operator_kwargs: extra :class:`RunConfig` field overrides (and the
+            operator-specific ``adaptive`` / ``initial_mapping``) applied to
+            every run under this config.
     """
 
     machines: int = 16
@@ -42,6 +54,44 @@ class ExperimentConfig:
     inter_arrival: float = 0.0
     batch_size: int | None = 1
     operator_kwargs: dict = field(default_factory=dict)
+
+    def run_config(self) -> RunConfig:
+        """The :class:`RunConfig` this experiment configuration denotes.
+
+        ``operator_kwargs`` entries naming RunConfig fields are folded in;
+        operator-specific extras (``adaptive``, ``initial_mapping``) are left
+        to :meth:`session`'s call-site overrides.
+        """
+        config = RunConfig(
+            machines=self.machines,
+            seed=self.seed,
+            memory_capacity=self.memory_capacity,
+            inter_arrival=self.inter_arrival,
+            batch_size=self.batch_size,
+        )
+        config_overrides = {
+            key: value
+            for key, value in self.operator_kwargs.items()
+            if key not in OPERATOR_ONLY_KWARGS
+        }
+        return config.with_overrides(**config_overrides)
+
+    def extra_operator_kwargs(self) -> dict:
+        """The operator-specific (non-RunConfig) overrides, if any."""
+        return {
+            key: value
+            for key, value in self.operator_kwargs.items()
+            if key in OPERATOR_ONLY_KWARGS
+        }
+
+    def session(self, query: JoinQuery | None = None, operator: str = "Dynamic") -> JoinSession:
+        """A :class:`JoinSession` configured for this experiment."""
+        return JoinSession(
+            query,
+            operator=operator,
+            config=self.run_config(),
+            cost_model=self.cost_model,
+        )
 
 
 def build_query(name: str, config: ExperimentConfig) -> JoinQuery:
@@ -56,19 +106,9 @@ def run_single(
     config: ExperimentConfig,
     **run_kwargs,
 ) -> RunResult:
-    """Run one operator on one query under ``config``."""
-    operator = make_operator(
-        operator_kind,
-        query,
-        config.machines,
-        cost_model=config.cost_model,
-        seed=config.seed,
-        memory_capacity=config.memory_capacity,
-        batch_size=config.batch_size,
-        **config.operator_kwargs,
-    )
-    run_kwargs.setdefault("inter_arrival", config.inter_arrival)
-    return operator.run(**run_kwargs)
+    """Run one operator on one query under ``config`` (via :mod:`repro.api`)."""
+    session = config.session(query, operator=operator_kind)
+    return session.run(**config.extra_operator_kwargs(), **run_kwargs)
 
 
 def run_matrix(

@@ -8,10 +8,17 @@
 * **SHJ** — the parallel symmetric hash join: content-sensitive partitioning
   on the join key, applicable to equi-joins only, efficient without skew but
   crippled by skewed key distributions.
+
+Every operator class registers itself in the
+:data:`repro.api.registry.operators` registry (``Dynamic`` and ``Grid``
+register in :mod:`repro.core.operator`); the public way to construct by kind
+name is :func:`repro.api.build_operator`.  :func:`make_operator` survives as
+a thin compatibility shim over the registry.
 """
 
 from __future__ import annotations
 
+from repro.api.registry import operators, register_operator
 from repro.core.mapping import square_mapping
 from repro.core.operator import GridJoinOperator, theoretical_optimal_mapping
 from repro.core.tasks import HashReshufflerTask, ReshufflerTask
@@ -23,9 +30,9 @@ class StaticMidOperator(GridJoinOperator):
 
     operator_name = "StaticMid"
 
-    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+    def __init__(self, query: JoinQuery, machines: int | None = None, **kwargs) -> None:
         kwargs.setdefault("adaptive", False)
-        kwargs.setdefault("initial_mapping", square_mapping(machines))
+        # The square mapping is the base default; nothing extra to derive.
         super().__init__(query, machines, **kwargs)
 
 
@@ -34,10 +41,13 @@ class StaticOptOperator(GridJoinOperator):
 
     operator_name = "StaticOpt"
 
-    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+    def __init__(self, query: JoinQuery, machines: int | None = None, **kwargs) -> None:
         kwargs.setdefault("adaptive", False)
-        kwargs.setdefault("initial_mapping", theoretical_optimal_mapping(query, machines))
-        super().__init__(query, machines, **kwargs)
+        explicit_mapping = kwargs.pop("initial_mapping", None)
+        super().__init__(query, machines, initial_mapping=explicit_mapping, **kwargs)
+        if explicit_mapping is None:
+            # Derived after super() resolved the machine count from the config.
+            self.initial_mapping = theoretical_optimal_mapping(query, self.machines)
 
 
 class SymmetricHashOperator(GridJoinOperator):
@@ -45,7 +55,7 @@ class SymmetricHashOperator(GridJoinOperator):
 
     operator_name = "SHJ"
 
-    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+    def __init__(self, query: JoinQuery, machines: int | None = None, **kwargs) -> None:
         if query.predicate.kind != "equi":
             raise ValueError(
                 f"the SHJ operator supports only equi-join predicates; "
@@ -58,23 +68,18 @@ class SymmetricHashOperator(GridJoinOperator):
         return HashReshufflerTask
 
 
-OPERATOR_CLASSES = {
-    "StaticMid": StaticMidOperator,
-    "StaticOpt": StaticOptOperator,
-    "SHJ": SymmetricHashOperator,
-}
+register_operator("StaticMid", StaticMidOperator)
+register_operator("StaticOpt", StaticOptOperator)
+register_operator("SHJ", SymmetricHashOperator)
 
 
-def make_operator(kind: str, query: JoinQuery, machines: int, **kwargs):
-    """Factory over every operator used by the evaluation, including Dynamic."""
-    from repro.core.operator import AdaptiveJoinOperator
+def make_operator(kind: str, query: JoinQuery, machines: int | None = None, **kwargs):
+    """Compatibility shim over the operator registry.
 
-    registry = dict(OPERATOR_CLASSES)
-    registry["Dynamic"] = AdaptiveJoinOperator
-    try:
-        operator_class = registry[kind]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown operator {kind!r}; available: {', '.join(sorted(registry))}"
-        ) from exc
+    Prefer :func:`repro.api.build_operator` (config-based).  This keeps the
+    historical ``make_operator(kind, query, machines, **loose_kwargs)``
+    calling convention working; the loose kwargs funnel through the operator's
+    deprecation shim, so they warn but produce bit-identical results.
+    """
+    operator_class = operators.get(kind)
     return operator_class(query, machines, **kwargs)

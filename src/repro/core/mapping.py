@@ -26,6 +26,11 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
+# The accepted machine-to-cell layouts live in the dependency-free registry
+# leaf so RunConfig validation and GridPlacement share one authority;
+# re-exported here because layouts are conceptually a mapping-layer concern.
+from repro.api.registry import LAYOUTS  # noqa: F401
+
 
 def is_power_of_two(value: int) -> bool:
     """True when ``value`` is a positive power of two."""
@@ -169,8 +174,8 @@ class GridPlacement:
     def __post_init__(self) -> None:
         if not is_power_of_two(self.mapping.n) or not is_power_of_two(self.mapping.m):
             raise ValueError("GridPlacement requires power-of-two mapping dimensions")
-        if self.layout not in ("dyadic", "row_major"):
-            raise ValueError("layout must be 'dyadic' or 'row_major'")
+        if self.layout not in LAYOUTS:
+            raise ValueError(f"layout must be one of {', '.join(map(repr, LAYOUTS))}")
         ids = self.machine_ids or tuple(range(self.mapping.machines))
         if len(ids) != self.mapping.machines:
             raise ValueError(

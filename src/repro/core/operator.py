@@ -17,8 +17,11 @@ the SHJ comparator of §5 are thin subclasses (see
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Sequence
 
+from repro.api.config import RunConfig
+from repro.api.registry import register_operator
 from repro.core.decision import MigrationController
 from repro.core.mapping import Mapping, is_power_of_two, optimal_mapping, square_mapping
 from repro.core.results import RunResult
@@ -35,36 +38,60 @@ from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams
 DEFAULT_BATCH_SIZE = 64
 
 
+def _caller_stacklevel() -> int:
+    """Stacklevel attributing a warning to the first frame outside ``repro``.
+
+    The deprecation shim is reached through varying depths of repro-internal
+    frames (subclass ``__init__``s, ``make_operator``), so a fixed stacklevel
+    would blame repro's own source lines instead of the user's call site.
+    """
+    import sys
+
+    level = 1
+    frame = sys._getframe(1)
+    while frame is not None and frame.f_globals.get("__name__", "").startswith("repro."):
+        frame = frame.f_back
+        level += 1
+    return level
+
+
 class GridJoinOperator:
     """Base class: a parallel join operator over a grid-partitioned cluster.
+
+    The canonical construction is config-based (the :mod:`repro.api` way)::
+
+        GridJoinOperator(query, config=RunConfig(machines=16, seed=7))
+
+    Every run knob lives on the :class:`~repro.api.config.RunConfig`; keyword
+    overrides passed alongside ``config`` are applied on top of it (call-site
+    beats config).  The pre-``repro.api`` loose-kwargs construction —
+    ``GridJoinOperator(query, 16, seed=7, ...)`` without a ``config`` — still
+    works for one release but emits a :class:`DeprecationWarning`; it builds
+    the exact same :class:`RunConfig` internally, so results are bit-identical
+    (pinned by the migration test).
 
     Args:
         query: the workload (two materialised input streams + predicate).
         machines: number of joiners J; must be a power of two (the paper's
             experiments use 16–128; arbitrary J is handled analytically by
-            :mod:`repro.core.groups`).
+            :mod:`repro.core.groups`).  Overrides ``config.machines``.
         cost_model: CPU/network/storage cost model; defaults to
-            :class:`~repro.engine.machine.CostModel`'s defaults.
-        seed: seed controlling tuple salts, arrival interleaving and routing.
+            :class:`~repro.engine.machine.CostModel`'s defaults.  Not part of
+            :class:`RunConfig` (it is an object graph, not a serialisable
+            knob); the config's ``memory_capacity`` is applied to it.
+        config: the :class:`~repro.api.config.RunConfig` holding every run
+            knob (machines, seed, epsilon, warmup, layout, blocking, memory,
+            sampling, batch_size, probe_engine, pacing).
         initial_mapping: mapping in force at start-up; defaults to the square
-            ``(√J, √J)`` scheme.
-        adaptive: whether the controller may trigger migrations.
-        epsilon: the ε of Theorem 4.2 (1.0 = Algorithm 2 as published).
-        warmup_tuples: minimum (estimated global) tuple count before the first
-            migration may be considered.
-        layout: machine-to-cell layout, ``"dyadic"`` (locality-aware, default)
-            or ``"row_major"`` (naive ablation).
-        blocking: model the blocking actuation protocol instead of Alg. 3.
-        memory_capacity: per-machine storage budget; ``None`` = unbounded.
-        sample_every: controller sampling period for ILF/ratio time series.
-        batch_size: micro-batch size of the data plane.  ``None`` selects
-            :data:`DEFAULT_BATCH_SIZE`; ``1`` reproduces the per-tuple
-            message-per-event behaviour event-for-event.
-        probe_engine: joiner probe engine — ``"vectorized"`` (default,
-            batch-aware probes with the exact-key fast path) or ``"scalar"``
-            (per-member reference path; used for differential testing and as
-            the probe-engine benchmark baseline).  Both charge identical
-            simulated work; the knob only changes wall-clock behaviour.
+            ``(√J, √J)`` scheme.  Operator-kind specific, hence not a config
+            field (StaticOpt derives it from the query).
+        adaptive: whether the controller may trigger migrations; operator-kind
+            specific (the ``Dynamic`` subclass turns it on).
+        **knobs: :class:`RunConfig` field overrides (``seed=...``,
+            ``batch_size=...``, ...).  Unknown names raise eagerly, as do
+            invalid values — e.g. an unregistered ``probe_engine`` or
+            ``layout`` fails here with the registered choices listed, not
+            deep inside joiner construction mid-run.
     """
 
     operator_name = "Grid"
@@ -72,40 +99,55 @@ class GridJoinOperator:
     def __init__(
         self,
         query: JoinQuery,
-        machines: int,
+        machines: int | None = None,
         cost_model: CostModel | None = None,
-        seed: int = 0,
+        *,
+        config: RunConfig | None = None,
         initial_mapping: Mapping | None = None,
         adaptive: bool = False,
-        epsilon: float = 1.0,
-        warmup_tuples: float | None = None,
-        layout: str = "dyadic",
-        blocking: bool = False,
-        memory_capacity: float | None = None,
-        sample_every: int = 200,
-        batch_size: int | None = None,
-        probe_engine: str = "vectorized",
+        **knobs,
     ) -> None:
-        if not is_power_of_two(machines):
+        if config is None:
+            if machines is not None or knobs:
+                warnings.warn(
+                    f"constructing {type(self).__name__} from loose keyword "
+                    "arguments is deprecated; pass config=RunConfig(...) "
+                    "(see repro.api)",
+                    DeprecationWarning,
+                    stacklevel=_caller_stacklevel(),
+                )
+            config = RunConfig()
+        overrides = dict(knobs)
+        if machines is not None:
+            overrides["machines"] = machines
+        # with_overrides re-validates every knob eagerly (unknown field names,
+        # unregistered probe engines/layouts, invalid batch sizes, ...).
+        config = config.with_overrides(**overrides)
+        if not is_power_of_two(config.machines):
             raise ValueError(
                 f"this operator implementation requires a power-of-two number of joiners, "
-                f"got {machines}; see repro.core.groups for the general-J decomposition"
+                f"got {config.machines}; see repro.core.groups for the general-J decomposition"
             )
+        self.config = config
         self.query = query
-        self.machines = machines
-        self.cost_model = (cost_model or CostModel()).with_memory(memory_capacity)
-        self.seed = seed
-        self.initial_mapping = initial_mapping or square_mapping(machines)
+        self.machines = config.machines
+        self.cost_model = (cost_model or CostModel()).with_memory(config.memory_capacity)
+        self.seed = config.seed
+        self.initial_mapping = initial_mapping or square_mapping(config.machines)
         self.adaptive = adaptive
-        self.epsilon = epsilon
-        self.warmup_tuples = warmup_tuples if warmup_tuples is not None else 4.0 * machines
-        self.layout = layout
-        self.blocking = blocking
-        self.sample_every = sample_every
-        self.batch_size = DEFAULT_BATCH_SIZE if batch_size is None else int(batch_size)
-        if self.batch_size < 1:
-            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
-        self.probe_engine = probe_engine
+        self.epsilon = config.epsilon
+        self.warmup_tuples = (
+            config.warmup_tuples
+            if config.warmup_tuples is not None
+            else 4.0 * config.machines
+        )
+        self.layout = config.layout
+        self.blocking = config.blocking
+        self.sample_every = config.sample_every
+        self.batch_size = (
+            DEFAULT_BATCH_SIZE if config.batch_size is None else int(config.batch_size)
+        )
+        self.probe_engine = config.probe_engine
 
     # ------------------------------------------------------------------ build
 
@@ -187,10 +229,31 @@ class GridJoinOperator:
         )
         return left, right
 
+    def build_simulation(
+        self, collect_outputs: bool = False, expected_inputs: int = 0
+    ) -> tuple[Simulator, Topology]:
+        """A fresh simulator with the operator's topology registered, no input fed.
+
+        This is the half of :meth:`run` the streaming session facade reuses:
+        :meth:`repro.api.session.JoinSession.push` feeds arrivals into the
+        returned simulator incrementally and finally calls
+        :meth:`collect_result` on it.
+        """
+        simulator = Simulator(
+            num_machines=self.machines,
+            cost_model=self.cost_model,
+            seed=self.seed,
+            collect_outputs=collect_outputs,
+        )
+        topology = self._build_topology()
+        tasks = self._build_tasks(topology, expected_inputs)
+        simulator.register_all(tasks)
+        return simulator, topology
+
     def run(
         self,
-        arrival_pattern: str = "uniform",
-        inter_arrival: float = 0.0,
+        arrival_pattern: str | None = None,
+        inter_arrival: float | None = None,
         arrival_order: Sequence[StreamTuple] | None = None,
         collect_outputs: bool = False,
         max_events: int | None = None,
@@ -199,9 +262,10 @@ class GridJoinOperator:
 
         Args:
             arrival_pattern: interleaving of the two input streams ("uniform",
-                "alternate", "r_first", "s_first"); ignored when an explicit
-                ``arrival_order`` is supplied.
-            inter_arrival: virtual-time gap between consecutive arrivals.
+                "alternate", "r_first", "s_first"); defaults to the config's
+                pacing; ignored when an explicit ``arrival_order`` is supplied.
+            inter_arrival: virtual-time gap between consecutive arrivals;
+                defaults to the config's pacing.
             arrival_order: explicit arrival sequence (used by the fluctuation
                 experiment of §5.4); must contain exactly the query's tuples.
             collect_outputs: retain every output pair for verification.
@@ -210,13 +274,11 @@ class GridJoinOperator:
         Returns:
             A :class:`RunResult` with every measured quantity.
         """
+        if arrival_pattern is None:
+            arrival_pattern = self.config.arrival_pattern
+        if inter_arrival is None:
+            inter_arrival = self.config.inter_arrival
         rng = random.Random(self.seed)
-        simulator = Simulator(
-            num_machines=self.machines,
-            cost_model=self.cost_model,
-            seed=self.seed,
-            collect_outputs=collect_outputs,
-        )
         if arrival_order is None:
             left, right = self.prepare_tuples(rng)
             order = interleave_streams(left, right, rng, pattern=arrival_pattern)
@@ -224,9 +286,9 @@ class GridJoinOperator:
             order = list(arrival_order)
         expected_inputs = len(order)
 
-        topology = self._build_topology()
-        tasks = self._build_tasks(topology, expected_inputs)
-        simulator.register_all(tasks)
+        simulator, topology = self.build_simulation(
+            collect_outputs=collect_outputs, expected_inputs=expected_inputs
+        )
 
         reshuffler_names = topology.reshuffler_names
         schedule = ArrivalSchedule(items=order, inter_arrival=inter_arrival)
@@ -236,11 +298,11 @@ class GridJoinOperator:
             batch_size=self.batch_size,
         )
         simulator.run(max_events=max_events)
-        return self._collect_result(simulator, topology, expected_inputs)
+        return self.collect_result(simulator, topology, expected_inputs)
 
     # --------------------------------------------------------------- results
 
-    def _collect_result(
+    def collect_result(
         self, simulator: Simulator, topology: Topology, expected_inputs: int
     ) -> RunResult:
         metrics = simulator.metrics
@@ -281,7 +343,7 @@ class AdaptiveJoinOperator(GridJoinOperator):
 
     operator_name = "Dynamic"
 
-    def __init__(self, query: JoinQuery, machines: int, **kwargs) -> None:
+    def __init__(self, query: JoinQuery, machines: int | None = None, **kwargs) -> None:
         kwargs.setdefault("adaptive", True)
         super().__init__(query, machines, **kwargs)
 
@@ -296,3 +358,7 @@ def theoretical_optimal_mapping(query: JoinQuery, machines: int) -> Mapping:
         query.left_tuple_size,
         query.right_tuple_size,
     )
+
+
+register_operator("Grid", GridJoinOperator)
+register_operator("Dynamic", AdaptiveJoinOperator)

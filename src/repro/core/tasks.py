@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api.registry import probe_engines
 from repro.core.decision import MigrationController
 from repro.core.epochs import EpochJoinerState, JoinerPhase, TupleActions
 from repro.core.mapping import GridPlacement, Mapping
@@ -405,11 +406,12 @@ class JoinerTask(Task):
     """A joiner: local non-blocking join wrapped in the epoch protocol.
 
     Args:
-        probe_engine: ``"vectorized"`` (default) routes DATA batches through
-            the batch-aware probe engine (``EpochJoinerState.handle_data_batch``
-            → ``LocalJoiner.probe_batch``); ``"scalar"`` keeps the per-member
-            dispatch with full per-candidate predicate re-validation — the
-            pre-vectorization reference used by differential tests and the
+        probe_engine: name of a registered probe engine.  Engines advertising
+            ``batch_aware`` (the built-in ``"vectorized"`` default) route DATA
+            batches through ``EpochJoinerState.handle_data_batch`` →
+            ``LocalJoiner.probe_batch``; others (the built-in ``"scalar"``
+            reference) keep the per-member dispatch with full per-candidate
+            predicate re-validation, used by differential tests and the
             probe-engine benchmarks.
     """
 
@@ -438,7 +440,7 @@ class JoinerTask(Task):
         )
         self.migration_rate_factor = migration_rate_factor
         self.batch_size = max(1, batch_size)
-        self.vectorized = probe_engine == "vectorized"
+        self.batch_aware = probe_engines.get(probe_engine).batch_aware
         self._ends_sent_for: int | None = None
 
     # -------------------------------------------------------------- handling
@@ -466,18 +468,20 @@ class JoinerTask(Task):
 
         Members are handled in order within one simulator event; costs are
         charged per tuple, so outputs emitted by later members carry the
-        cumulative charge of earlier ones (per-tuple cost attribution).
-        Relocations produced along the way are regrouped per destination and
-        flushed as batches at the end of the invocation.
+        cumulative charge of earlier ones (per-tuple cost attribution).  On
+        the batch-aware DATA path the bookkeeping is aggregated over the
+        whole batch (:meth:`_apply_data_batch`) — charged virtual times stay
+        bit-identical to the per-member path.  Relocations produced along the
+        way are regrouped per destination and flushed as batches at the end
+        of the invocation.
         """
         inner = message.meta.get("inner")
         sink: RouteGroups = {}
         apply = self._apply
         if inner is MessageKind.DATA:
-            if self.vectorized:
+            if self.batch_aware:
                 items = list(message.payload)
-                for item, actions in zip(items, self.state.handle_data_batch(items)):
-                    apply(actions, item, ctx, migrated=False, sink=sink)
+                self._apply_data_batch(items, self.state.handle_data_batch(items), ctx, sink)
             else:
                 handle_data = self.state.handle_data
                 for item in message.payload:
@@ -583,6 +587,63 @@ class JoinerTask(Task):
                 ),
                 category=TrafficCategory.MIGRATION,
             )
+
+    def _apply_data_batch(
+        self,
+        items: list[StreamTuple],
+        actions_list: list[TupleActions],
+        ctx: Context,
+        sink: RouteGroups | None,
+    ) -> None:
+        """Apply one micro-batch of routed-data actions with aggregated bookkeeping.
+
+        Semantically identical to calling :meth:`_apply` per member
+        (``migrated=False``): per-member cost attribution is preserved — each
+        member's cost is computed with the same float arithmetic and added to
+        the running charge in the same order, so outputs of later members
+        still carry the cumulative charge of earlier ones and virtual times
+        are bit-identical (pinned by the scalar-engine equality assertions in
+        ``test_batching_equivalence.py``).  What is aggregated is the
+        *bookkeeping overhead*: cost-model fields and machine methods are
+        resolved once per batch instead of per member, and probe work is
+        recorded in one metrics call (probe-work units are integer-valued, so
+        the deferred sum is exact).
+        """
+        machine = ctx.machine
+        if machine is None:
+            for item, actions in zip(items, actions_list):
+                self._apply(actions, item, ctx, migrated=False, sink=sink)
+            return
+        cost_model = machine.cost_model
+        receive_cost = cost_model.receive_cost
+        store_cost = cost_model.store_cost
+        probe_cost = cost_model.probe_cost
+        match_cost = cost_model.match_cost
+        storage_factor = machine.storage_factor
+        add_stored = machine.add_stored
+        emit_output = ctx.emit_output
+        probe_total = 0.0
+        for item, actions in zip(items, actions_list):
+            work = actions.probe_work
+            probe_total += work
+            # Same per-member arithmetic and accumulation order as _apply.
+            factor = storage_factor()
+            cost = 0.0
+            cost += receive_cost
+            if actions.stored:
+                cost += store_cost * factor
+            cost += work * probe_cost * factor
+            matches = actions.matches
+            cost += len(matches) * match_cost
+            ctx.charged += cost
+            if actions.stored:
+                add_stored(item.size)
+            for left, right in matches:
+                emit_output(left, right)
+            if actions.migrate_to:
+                self._send_migrations(actions.migrate_to, ctx, sink)
+        if probe_total:
+            ctx.metrics.record_probe_work(probe_total)
 
     def _apply(
         self,

@@ -16,7 +16,8 @@ against everything stored before it, including earlier batch members — while
 probing the pre-batch index state in one grouped (hash) or sort-merge
 (ordered) pass.
 
-Two probe engines are supported:
+Probe engines are pluggable through the
+:data:`repro.api.registry.probe_engines` registry; two ship built in:
 
 * ``"vectorized"`` (default) — batch index passes, and the exact-key fast
   path: candidates from an exact-key hash bucket already satisfy the primary
@@ -26,18 +27,58 @@ Two probe engines are supported:
   predicate on every candidate.  It defines the semantics ``probe_batch``
   must reproduce and serves as the differential-testing oracle and the
   pre-vectorization benchmark baseline.
+
+Additional engines register via :func:`repro.api.register_probe_engine` with
+a :class:`ProbeEngine` strategy; unknown engine names fail eagerly at joiner
+(and, higher up, operator/config) construction with the registered choices
+listed.  Likewise, :func:`make_local_joiner` dispatches on the predicate
+``kind`` through the :data:`repro.api.registry.predicate_kinds` registry, so
+new predicate families plug in their local algorithms without touching this
+module.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
+from repro.api.registry import (
+    predicate_kinds,
+    probe_engines,
+    register_predicate,
+    register_probe_engine,
+)
 from repro.engine.stream import StreamTuple
 from repro.joins.index import JoinIndex, make_index
-from repro.joins.predicates import JoinPredicate
+from repro.joins.predicates import (
+    BandPredicate,
+    EquiPredicate,
+    JoinPredicate,
+    ThetaPredicate,
+)
 
-#: Probe-engine flavours accepted by :class:`LocalJoiner`.
-PROBE_ENGINES = ("vectorized", "scalar")
+
+@dataclass(frozen=True)
+class ProbeEngine:
+    """Strategy object describing one probe-engine flavour.
+
+    Attributes:
+        name: registry name of the engine.
+        batch_aware: whether joiner tasks should route NORMAL-phase DATA
+            batches through :meth:`EpochJoinerState.handle_data_batch` →
+            :meth:`LocalJoiner.probe_batch` (False keeps per-member dispatch).
+        exact_key_fast_path: whether exact-key hash candidates may skip
+            per-pair re-validation of the primary predicate.
+        probe_batch: callable ``(joiner, items) -> [(matches, work), ...]``
+            implementing the batch insert+probe pass; must reproduce the
+            scalar reference semantics exactly (same matches, same charged
+            work).
+    """
+
+    name: str
+    batch_aware: bool
+    exact_key_fast_path: bool
+    probe_batch: Callable[["LocalJoiner", Sequence[StreamTuple]], list]
 
 
 class LocalJoiner:
@@ -58,8 +99,8 @@ class LocalJoiner:
         right_relation: str,
         engine: str = "vectorized",
     ) -> None:
-        if engine not in PROBE_ENGINES:
-            raise ValueError(f"unknown probe engine {engine!r}; expected one of {PROBE_ENGINES}")
+        # Registry lookup raises eagerly with the registered choices listed.
+        self._engine_spec: ProbeEngine = probe_engines.get(engine)
         self.predicate = predicate
         self.left_relation = left_relation
         self.right_relation = right_relation
@@ -73,8 +114,9 @@ class LocalJoiner:
         self._pred_left_key = predicate.left_key if kind in ("equi", "band") else None
         self._pred_right_key = predicate.right_key if kind in ("equi", "band") else None
         self._band_width = self._resolve_band_width() if kind == "band" else 0.0
-        vectorized = engine == "vectorized"
-        self._exact_key = vectorized and kind == "equi" and predicate.exact_key
+        self._exact_key = (
+            self._engine_spec.exact_key_fast_path and kind == "equi" and predicate.exact_key
+        )
         # Per-candidate validation, resolved once: None means exact-key hash
         # candidates need no validation at all (the bucket is the match set);
         # exact-key predicates with residuals validate only the residual part;
@@ -305,19 +347,7 @@ class LocalJoiner:
             candidate counts (pre-batch + earlier intra-batch candidates),
             floored at 1 per member.
         """
-        if self.engine != "vectorized":
-            # Reference semantics: the exact per-member sequence.
-            results = []
-            for item in items:
-                results.append(self.probe(item))
-                self.insert(item)
-            return results
-        kind = self.predicate.kind
-        if kind == "equi":
-            return self._probe_batch_equi(items)
-        if kind == "band":
-            return self._probe_batch_band(items)
-        return self._probe_batch_scan(items)
+        return self._engine_spec.probe_batch(self, items)
 
     def _probe_batch_equi(
         self, items: Sequence[StreamTuple]
@@ -484,9 +514,58 @@ def make_local_joiner(
     right_relation: str,
     engine: str = "vectorized",
 ) -> LocalJoiner:
-    """Pick the local algorithm matching the predicate kind."""
-    if predicate.kind == "equi":
-        return SymmetricHashJoiner(predicate, left_relation, right_relation, engine=engine)
-    if predicate.kind == "band":
-        return SortedBandJoiner(predicate, left_relation, right_relation, engine=engine)
-    return NestedLoopJoiner(predicate, left_relation, right_relation, engine=engine)
+    """Build the local algorithm registered for the predicate's ``kind``."""
+    spec = predicate_kinds.get(predicate.kind)
+    return spec.joiner_factory(predicate, left_relation, right_relation, engine=engine)
+
+
+# --------------------------------------------------------------------------
+# Built-in registrations (the registries are the single dispatch authority;
+# new engines/kinds plug in through repro.api.register_* without edits here).
+# --------------------------------------------------------------------------
+
+def _scalar_probe_batch(
+    joiner: LocalJoiner, items: Sequence[StreamTuple]
+) -> list[tuple[list[StreamTuple], float]]:
+    """Reference semantics: the exact per-member probe-then-insert sequence."""
+    results = []
+    for item in items:
+        results.append(joiner.probe(item))
+        joiner.insert(item)
+    return results
+
+
+def _vectorized_probe_batch(
+    joiner: LocalJoiner, items: Sequence[StreamTuple]
+) -> list[tuple[list[StreamTuple], float]]:
+    """One lean pass over the live indexes, dispatched on the predicate kind."""
+    kind = joiner.predicate.kind
+    if kind == "equi":
+        return joiner._probe_batch_equi(items)
+    if kind == "band":
+        return joiner._probe_batch_band(items)
+    return joiner._probe_batch_scan(items)
+
+
+register_probe_engine(
+    "vectorized",
+    ProbeEngine(
+        name="vectorized",
+        batch_aware=True,
+        exact_key_fast_path=True,
+        probe_batch=_vectorized_probe_batch,
+    ),
+)
+register_probe_engine(
+    "scalar",
+    ProbeEngine(
+        name="scalar",
+        batch_aware=False,
+        exact_key_fast_path=False,
+        probe_batch=_scalar_probe_batch,
+    ),
+)
+
+register_predicate("equi", SymmetricHashJoiner, EquiPredicate)
+register_predicate("band", SortedBandJoiner, BandPredicate)
+register_predicate("theta", NestedLoopJoiner, ThetaPredicate)

@@ -12,6 +12,14 @@ The vectorized probe engine is additionally pinned against the per-member
 ``probe_engine="scalar"`` must charge exactly the same total ``probe_work``
 and produce an identical simulation (outputs and virtual completion time) —
 the batch-aware probes are a wall-clock optimisation only.
+
+The virtual-time equality assertions double as the pin for **per-batch cost
+aggregation** (``JoinerTask._apply_data_batch``): the batch-aware engine
+charges one handler invocation's costs through the aggregated bookkeeping
+path while the scalar engine still runs per-member ``_apply``; if
+aggregation ever perturbed per-member cost attribution (float order, storage
+factors, output emission charges), ``execution_time`` — and the per-output
+latency totals behind ``average_latency`` — would diverge between the two.
 """
 
 import random
@@ -69,6 +77,14 @@ def _assert_equivalent(operator_class, query, **kwargs):
         assert scalar.execution_time == batched.execution_time, (
             f"batch_size={batch_size}: probe engine changed simulated time"
         )
+        # Aggregated per-batch cost bookkeeping must preserve per-member
+        # attribution bit-for-bit: output timestamps feed latency, storage
+        # factors feed spill behaviour — all must match the per-member path.
+        assert scalar.average_latency == batched.average_latency, (
+            f"batch_size={batch_size}: cost aggregation changed output timing"
+        )
+        assert scalar.max_ilf == batched.max_ilf
+        assert scalar.total_network_volume == batched.total_network_volume
 
 
 class TestBatchedEquivalence:
