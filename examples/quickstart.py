@@ -29,7 +29,12 @@ def main() -> None:
     print()
 
     # 2. One config, one session; the operator kind is a per-run choice.
-    config = RunConfig(machines=16, seed=7)
+    #    batching="adaptive" runs the batched data plane at reference
+    #    semantics: flipping this one line changes wall-clock and simulator
+    #    event counts, but not a single reported number (results and virtual
+    #    times are bit-identical to the per-tuple plane — see
+    #    tests/test_adaptive_conformance.py).
+    config = RunConfig(machines=16, seed=7, batching="adaptive")
     session = JoinSession(query, config=config)
 
     header = f"{'operator':<12} {'exec time':>10} {'throughput':>11} {'max ILF':>9} {'storage':>9} {'migrations':>11} {'mapping':>9}"

@@ -9,8 +9,8 @@ One coherent front door over the operator stack:
   :class:`StreamSnapshot` observability.
 * :func:`build_operator` — registry-backed operator construction.
 * Registries — :func:`register_operator`, :func:`register_probe_engine`,
-  :func:`register_predicate` let new backends and scenarios plug in without
-  touching core modules.
+  :func:`register_predicate`, :func:`register_batch_controller` let new
+  backends and scenarios plug in without touching core modules.
 
 Quickstart::
 
@@ -27,9 +27,11 @@ from repro.api.config import ARRIVAL_PATTERNS, RunConfig
 from repro.api.registry import (
     PredicateKind,
     Registry,
+    batch_controllers,
     operators,
     predicate_kinds,
     probe_engines,
+    register_batch_controller,
     register_operator,
     register_predicate,
     register_probe_engine,
@@ -43,10 +45,12 @@ __all__ = [
     "Registry",
     "RunConfig",
     "StreamSnapshot",
+    "batch_controllers",
     "build_operator",
     "operators",
     "predicate_kinds",
     "probe_engines",
+    "register_batch_controller",
     "register_operator",
     "register_predicate",
     "register_probe_engine",

@@ -24,10 +24,12 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-# Importing the built-in engine/predicate registrations; keeps validation
-# meaningful even when repro.api.config is imported before the rest of repro.
+# Importing the built-in engine/predicate/batching registrations; keeps
+# validation meaningful even when repro.api.config is imported before the
+# rest of repro.
+import repro.engine.batching  # noqa: F401  (populates the batch-controller registry)
 import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
-from repro.api.registry import LAYOUTS, probe_engines
+from repro.api.registry import LAYOUTS, batch_controllers, probe_engines
 
 #: Arrival interleavings understood by the stream layer
 #: (see :func:`repro.engine.stream.interleave_streams`).
@@ -54,8 +56,19 @@ class RunConfig:
         memory_capacity: per-machine storage budget; ``None`` = unbounded.
         sample_every: controller sampling period for ILF/ratio time series.
         batch_size: data-plane micro-batch size; ``None`` selects the tuned
-            default (64), ``1`` the per-tuple reference plane.
+            default (64), ``1`` the per-tuple reference plane.  Fixed plane
+            only — the adaptive plane sizes its runs dynamically and rejects
+            an explicit ``batch_size``.
         probe_engine: joiner probe engine; must name a registered engine.
+        batching: batching plane; must name a registered batch controller.
+            ``"fixed"`` (default) is the sender-side micro-batch plane sized
+            by ``batch_size``; ``"adaptive"`` keeps the wire per-tuple and
+            coalesces backlog at the receiver — bit-identical results and
+            virtual times to ``batch_size=1`` (pinned by the conformance
+            suite), with the event/wall-clock savings of batching.
+        batch_max: largest run the adaptive controller may coalesce
+            (``None`` = the controller's default, 64).  Rejected when
+            ``batching="fixed"``.
         arrival_pattern: interleaving of the two input streams (pacing).
         inter_arrival: virtual-time gap between consecutive arrivals (pacing;
             0 = joiners fully utilised).
@@ -71,6 +84,8 @@ class RunConfig:
     sample_every: int = 200
     batch_size: int | None = None
     probe_engine: str = "vectorized"
+    batching: str = "fixed"
+    batch_max: int | None = None
     arrival_pattern: str = "uniform"
     inter_arrival: float = 0.0
 
@@ -88,6 +103,8 @@ class RunConfig:
             ("sample_every", self.sample_every, int, False),
             ("batch_size", self.batch_size, int, True),
             ("probe_engine", self.probe_engine, str, False),
+            ("batching", self.batching, str, False),
+            ("batch_max", self.batch_max, int, True),
             ("arrival_pattern", self.arrival_pattern, str, False),
             ("inter_arrival", self.inter_arrival, (int, float), False),
         )
@@ -129,6 +146,35 @@ class RunConfig:
                 f"unknown probe engine {self.probe_engine!r}; registered choices: "
                 f"{', '.join(probe_engines.names())}"
             )
+        if self.batching not in batch_controllers:
+            raise ValueError(
+                f"unknown batching {self.batching!r}; registered choices: "
+                f"{', '.join(batch_controllers.names())}"
+            )
+        controller_class = batch_controllers.get(self.batching)
+        if not getattr(controller_class, "drains", False):
+            if self.batch_max is not None:
+                raise ValueError(
+                    f"batch_max is an adaptive-controller parameter; "
+                    f"batching={self.batching!r} sizes batches statically via "
+                    "batch_size"
+                )
+        else:
+            if self.batch_size is not None:
+                raise ValueError(
+                    f"batch_size applies to the fixed plane only; "
+                    f"batching={self.batching!r} sizes its runs dynamically "
+                    "(cap them with batch_max instead)"
+                )
+            if self.batch_max is not None and self.batch_max < 1:
+                raise ValueError(f"batch_max must be >= 1 or None, got {self.batch_max}")
+            if self.blocking:
+                raise ValueError(
+                    "adaptive batching requires the non-blocking migration "
+                    "protocol (blocking=False): the blocking protocol's "
+                    "buffered-resume control messages charge CPU time, which "
+                    "a coalesced run cannot reproduce per-tuple-exactly"
+                )
         if self.arrival_pattern not in ARRIVAL_PATTERNS:
             raise ValueError(
                 f"unknown arrival_pattern {self.arrival_pattern!r}; "

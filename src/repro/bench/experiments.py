@@ -165,13 +165,15 @@ def _per_query_runs(
     operators: tuple[str, ...] = ("StaticMid", "Dynamic", "StaticOpt"),
     include_shj: bool = False,
     inter_arrival: float = 0.0,
+    batching: str = "fixed",
 ):
     queries = queries or FIGURE_QUERIES
     runs: dict[str, dict[str, object]] = {}
     for query_name in queries:
         skew = "Z4" if query_name in ("EQ5", "EQ7") else "Z0"
         config = ExperimentConfig(
-            machines=machines, scale=scale, skew=skew, seed=seed, inter_arrival=inter_arrival
+            machines=machines, scale=scale, skew=skew, seed=seed,
+            inter_arrival=inter_arrival, batching=batching,
         )
         query = build_query(query_name, config)
         per_op = {}
@@ -224,10 +226,19 @@ def fig6d_total_execution_time(
 
 
 def fig7a_throughput(
-    scale: float = 0.5, machines: int = 16, seed: int = 1, queries: list[str] | None = None
+    scale: float = 0.5,
+    machines: int = 16,
+    seed: int = 1,
+    queries: list[str] | None = None,
+    batching: str = "fixed",
 ) -> ExperimentReport:
-    """Fig. 7a: average operator throughput for every query and operator."""
-    runs = _per_query_runs(scale, machines, seed, queries, include_shj=True)
+    """Fig. 7a: average operator throughput for every query and operator.
+
+    ``batching="adaptive"`` runs the same figure on the adaptive data plane:
+    identical numbers (bit-identical virtual times, pinned by the conformance
+    suite), produced with far fewer simulator events.
+    """
+    runs = _per_query_runs(scale, machines, seed, queries, include_shj=True, batching=batching)
     rows = []
     for query_name, per_op in runs.items():
         for operator_kind, result in per_op.items():
@@ -243,17 +254,37 @@ def fig7a_throughput(
     return ExperimentReport(name="fig7a", rows=rows, text=text)
 
 
+def _batch_trace(result) -> str:
+    """Compact drained-run size histogram of one run ("size*count ..."), or
+    "-" on the fixed plane.  Reported next to latency so batching-induced
+    latency artefacts are visible in review: a trace full of deep runs under
+    a paced workload would mean the controller is queueing tuples it should
+    process immediately."""
+    histogram = result.batch_histogram
+    if not histogram:
+        return "-"
+    return " ".join(f"{size}*{count}" for size, count in sorted(histogram.items()))
+
+
 def fig7b_latency(
-    scale: float = 0.5, machines: int = 16, seed: int = 1, queries: list[str] | None = None
+    scale: float = 0.5,
+    machines: int = 16,
+    seed: int = 1,
+    queries: list[str] | None = None,
+    batching: str = "fixed",
 ) -> ExperimentReport:
     """Fig. 7b: average tuple latency for every query and operator.
 
     Arrivals are paced (non-zero inter-arrival gap) so that latency reflects
     processing and adaptation overhead rather than source-side queueing,
-    matching the spirit of the paper's measurement.
+    matching the spirit of the paper's measurement.  Every row reports the
+    run's batch-size trace alongside the latency (see :func:`_batch_trace`);
+    under this paced workload an adaptive run's trace should collapse to
+    (near-)per-tuple runs, keeping the latency semantics of the reference
+    plane.
     """
     runs = _per_query_runs(
-        scale, machines, seed, queries, inter_arrival=0.15
+        scale, machines, seed, queries, inter_arrival=0.15, batching=batching
     )
     rows = []
     for query_name, per_op in runs.items():
@@ -263,6 +294,7 @@ def fig7b_latency(
                     "query": query_name,
                     "operator": operator_kind,
                     "avg_latency": round(result.average_latency, 2),
+                    "batch_trace": _batch_trace(result),
                 }
             )
     text = format_table(rows, title="Fig. 7b — average tuple latency")

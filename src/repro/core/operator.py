@@ -21,7 +21,7 @@ import warnings
 from typing import Sequence
 
 from repro.api.config import RunConfig
-from repro.api.registry import register_operator
+from repro.api.registry import batch_controllers, register_operator
 from repro.core.decision import MigrationController
 from repro.core.mapping import Mapping, is_power_of_two, optimal_mapping, square_mapping
 from repro.core.results import RunResult
@@ -144,10 +144,22 @@ class GridJoinOperator:
         self.layout = config.layout
         self.blocking = config.blocking
         self.sample_every = config.sample_every
-        self.batch_size = (
-            DEFAULT_BATCH_SIZE if config.batch_size is None else int(config.batch_size)
-        )
         self.probe_engine = config.probe_engine
+        # The batching plane.  The adaptive plane keeps the wire per-tuple
+        # (identical message flow and virtual times to batch_size=1) and
+        # coalesces backlog at the receiving machines instead; the controller
+        # class was validated by RunConfig, instances are built per run.
+        self.batching = config.batching
+        self._batch_controller_class = batch_controllers.get(config.batching)
+        self._drains = bool(getattr(self._batch_controller_class, "drains", False))
+        if self._drains:
+            self.batch_size = 1
+            self.batch_max = config.batch_max
+        else:
+            self.batch_size = (
+                DEFAULT_BATCH_SIZE if config.batch_size is None else int(config.batch_size)
+            )
+            self.batch_max = None
 
     # ------------------------------------------------------------------ build
 
@@ -245,6 +257,12 @@ class GridJoinOperator:
             seed=self.seed,
             collect_outputs=collect_outputs,
         )
+        if self._drains:
+            controller_class = self._batch_controller_class
+            kwargs = {} if self.batch_max is None else {"batch_max": self.batch_max}
+            simulator.install_batching(
+                [controller_class(**kwargs) for _ in range(self.machines)]
+            )
         topology = self._build_topology()
         tasks = self._build_tasks(topology, expected_inputs)
         simulator.register_all(tasks)
@@ -329,6 +347,22 @@ class GridJoinOperator:
             final_mapping=final_mapping,
             events_processed=simulator.events_processed,
             batch_size=self.batch_size,
+            batching=self.batching,
+            batch_histogram=dict(metrics.drain_histogram) if self._drains else None,
+            migration_events=[
+                (
+                    event.epoch,
+                    event.old_mapping,
+                    event.new_mapping,
+                    event.decided_at,
+                    event.completed_at,
+                )
+                for event in metrics.migrations
+            ],
+            machine_busy=[
+                (machine.busy_until, machine.busy_time)
+                for machine in simulator.machines
+            ],
             probe_work=metrics.probe_work,
             ilf_series=metrics.ilf_fraction_series(expected_inputs),
             ratio_series=list(metrics.ratio_series),

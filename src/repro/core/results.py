@@ -36,6 +36,16 @@ class RunResult:
         events_processed: simulator handler invocations during the run — the
             data-plane overhead a larger batch size amortises away.
         batch_size: micro-batch size the run used (1 = per-tuple data plane).
+        batching: batching plane the run used ("fixed" or "adaptive").
+        batch_histogram: drained-run size → count on the adaptive plane
+            (None on the fixed plane) — the batch-size trace showing how the
+            controller sized runs under the workload's backlog.
+        migration_events: the full migration sequence as
+            ``(epoch, old_mapping, new_mapping, decided_at, completed_at)``
+            tuples — pinned identical across data planes by the adaptive
+            conformance suite.
+        machine_busy: per-machine ``(busy_until, busy_time)`` — the per-task
+            virtual times; bit-identical across the adaptive/per-tuple planes.
         probe_work: total joiner probe work units charged (index candidates
             inspected, floored at one per probe) — exact across batch sizes
             and probe engines, pinned by the batching-equivalence tests.
@@ -67,6 +77,10 @@ class RunResult:
     final_mapping: Mapping
     events_processed: int = 0
     batch_size: int = 1
+    batching: str = "fixed"
+    batch_histogram: dict[int, int] | None = None
+    migration_events: list[tuple] = field(default_factory=list)
+    machine_busy: list[tuple[float, float]] = field(default_factory=list)
     probe_work: float = 0.0
     ilf_series: list[tuple[float, float]] = field(default_factory=list)
     ratio_series: list[tuple[int, float]] = field(default_factory=list)

@@ -187,21 +187,122 @@ class ReshufflerTask(Task):
                 f"got inner kind {message.meta.get('inner')}"
             )
         routes: RouteGroups = {}
+        # Destination-grouped emission: the mapping and epoch are fixed for
+        # the whole invocation, so each (side, partition) resolves its grid
+        # placement and per-destination route lists once; subsequent members
+        # of the same partition append straight into those lists.
+        dest_cache: dict = {}
         for item in message.payload:
-            self._handle_source(item, ctx, routes)
+            self._handle_source(item, ctx, routes, dest_cache)
         self._flush_routes(routes, ctx)
 
+    # ---------------------------------------------------- adaptive data plane
+
+    def drain_key(self, message: Message):
+        """SOURCE runs are drainable whenever the reshuffler is not buffering.
+
+        Static operators (``adaptive=False``) never change mappings, so their
+        reshufflers drain source backlogs without any protocol interaction.
+        An adaptive operator's reshufflers receive MAPPING_CHANGE control
+        messages whose effect (epoch/mapping switch) must land *between* two
+        source tuples exactly where the per-tuple plane puts it — their
+        drained runs are therefore truncated at the control-plane drain
+        horizon (see :meth:`handle_drained`), behind which no control message
+        can exist yet.  The blocking protocol's buffered-resume path charges
+        CPU from a control handler and stays per-tuple.
+        """
+        if message.kind is MessageKind.SOURCE and not self.blocking:
+            return -1  # any non-None constant: all source tuples coalesce
+        return None
+
+    def handle_drained(self, first: Message, inbox, limit: int, key, ctx: Context) -> int:
+        """Route one drained run of source tuples with hoisted lookups.
+
+        Per-member semantics are identical to :meth:`_handle_source`: every
+        member still sends its own per-tuple DATA messages at its own
+        boundary-rotated departure time, keeping the wire identical to
+        per-tuple handling, and each (side, partition) resolves its
+        destinations once (the mapping cannot change inside a run — see
+        below).  On an adaptive operator the pull stops at the control-plane
+        drain horizon, re-checked before every member: a member may only be
+        coalesced if its start precedes every virtual time at which a
+        mapping change or migration ack could land on this machine, so the
+        mapping/epoch/in-flight state any member observes — and the point in
+        the stream where a control message takes effect — match the
+        per-tuple plane exactly.
+        """
+        machine = ctx.machine
+        reshuffle_cost = machine.cost_model.reshuffle_cost if machine else 0.0
+        record_input = ctx.metrics.record_input_processed
+        left_relation = self.topology.left_relation
+        is_controller = self.is_controller
+        route = self._route
+        boundaries = ctx.drain_boundaries
+        horizon_fn = ctx.drain_horizon if self.adaptive else None
+        # Only the controller can create new control-plane messages while
+        # this run executes (its own members may trigger a migration); for
+        # every other reshuffler the horizon is constant over the run.
+        horizon = None
+        if horizon_fn is not None and not is_controller:
+            horizon, horizon_fn = horizon_fn(), None
+        dest_cache: dict = {}
+        source_kind = MessageKind.SOURCE
+        count = 0
+        message = first
+        while True:
+            item = message.payload
+            # Members start with a clean charge (the boundary commit resets
+            # it), so the member's routing charge is a direct store.
+            ctx.charged = reshuffle_cost
+            is_left = item.relation == left_relation
+            self._seen += 1
+            record_input(ctx.now)
+            if is_controller:
+                self._controller_duties(item, is_left, ctx)
+            route(item, is_left, ctx, None, dest_cache)
+            # Inline Context.boundary: commit the member's charge to the busy
+            # chain with exactly the per-tuple occupy arithmetic.
+            end = ctx.now + ctx.charged
+            machine.busy_until = end
+            machine.busy_time += ctx.charged
+            ctx.now = end
+            ctx.charged = 0.0
+            if boundaries is not None:
+                boundaries.append(end)
+            count += 1
+            if count >= limit or not inbox:
+                break
+            if horizon_fn is not None:
+                horizon = horizon_fn()
+            if horizon is not None and end >= horizon:
+                break
+            task, message = inbox[0]
+            # Inline drain_key: same task + SOURCE kind is the whole key
+            # (blocking cannot flip inside a run — RESUME is control-plane).
+            if task is not self or message.kind is not source_kind:
+                break
+            inbox.popleft()
+        return count
+
     def _handle_source(
-        self, item: StreamTuple, ctx: Context, routes: RouteGroups | None = None
+        self,
+        item: StreamTuple,
+        ctx: Context,
+        routes: RouteGroups | None = None,
+        dest_cache: dict | None = None,
     ) -> None:
         ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
         if self.blocking and self.buffering:
             self._buffer.append(item)
             return
-        self._process_tuple(item, ctx, routes)
+        self._process_tuple(item, ctx, routes, dest_cache)
 
     def _process_tuple(
-        self, item: StreamTuple, ctx: Context, routes: RouteGroups | None = None
+        self,
+        item: StreamTuple,
+        ctx: Context,
+        routes: RouteGroups | None = None,
+        dest_cache: dict | None = None,
     ) -> None:
         is_left = item.relation == self.topology.left_relation
         self._seen += 1
@@ -210,7 +311,7 @@ class ReshufflerTask(Task):
         if self.is_controller:
             self._controller_duties(item, is_left, ctx)
 
-        self._route(item, is_left, ctx, routes)
+        self._route(item, is_left, ctx, routes, dest_cache)
 
     def _controller_duties(self, item: StreamTuple, is_left: bool, ctx: Context) -> None:
         assert self.controller is not None
@@ -306,9 +407,10 @@ class ReshufflerTask(Task):
         self.buffering = False
         pending, self._buffer = self._buffer, []
         routes: RouteGroups | None = {} if self.batch_size > 1 else None
+        dest_cache: dict | None = {} if routes is not None else None
         for item in pending:
             ctx.charge(ctx.machine.cost_model.reshuffle_cost if ctx.machine else 0.0)
-            self._process_tuple(item, ctx, routes)
+            self._process_tuple(item, ctx, routes, dest_cache)
         if routes is not None:
             self._flush_routes(routes, ctx)
 
@@ -320,9 +422,52 @@ class ReshufflerTask(Task):
         is_left: bool,
         ctx: Context,
         routes: RouteGroups | None = None,
+        dest_cache: dict | None = None,
     ) -> None:
+        # Tag with the current epoch; the common case (tag already current —
+        # epoch 0 before any migration) reuses the tuple object outright.
+        tagged = item if item.epoch == self.epoch else item.with_epoch(self.epoch)
+        if dest_cache is not None:
+            # Destination-grouped routing: the caller guarantees a fixed
+            # mapping/epoch for its whole invocation, so each (side,
+            # partition) resolves its grid placement once.  With ``routes``
+            # the cache holds the per-destination route lists themselves
+            # (fixed-plane micro-batches); without it, the destination ids
+            # for per-tuple sends (adaptive-plane drained runs).
+            key = (is_left, item.partition(self.mapping.n if is_left else self.mapping.m))
+            cached = dest_cache.get(key)
+            if cached is None:
+                placement = self.topology.placement(self.mapping)
+                destinations = (
+                    placement.machines_for_row(key[1])
+                    if is_left
+                    else placement.machines_for_col(key[1])
+                )
+                if routes is not None:
+                    cached = [
+                        routes.setdefault((machine_id, self.epoch), [])
+                        for machine_id in destinations
+                    ]
+                else:
+                    cached = [self.topology.joiner(m) for m in destinations]
+                dest_cache[key] = cached
+            if routes is not None:
+                for group in cached:
+                    group.append(tagged)
+                return
+            # One immutable DATA message shared by every destination of the
+            # fan-out: receivers never mutate messages, so replicating the
+            # envelope object per destination buys nothing.
+            message = Message(
+                kind=MessageKind.DATA,
+                sender=self.name,
+                payload=tagged,
+                epoch=self.epoch,
+                size=item.size,
+            )
+            ctx.send_fanout(cached, message, category=TrafficCategory.ROUTING)
+            return
         placement = self.topology.placement(self.mapping)
-        tagged = item.with_epoch(self.epoch)
         if is_left:
             row = item.partition(self.mapping.n)
             destinations = placement.machines_for_row(row)
@@ -333,18 +478,19 @@ class ReshufflerTask(Task):
             for machine_id in destinations:
                 routes.setdefault((machine_id, self.epoch), []).append(tagged)
             return
-        for machine_id in destinations:
-            ctx.send(
-                self.topology.joiner(machine_id),
-                Message(
-                    kind=MessageKind.DATA,
-                    sender=self.name,
-                    payload=tagged,
-                    epoch=self.epoch,
-                    size=item.size,
-                ),
-                category=TrafficCategory.ROUTING,
-            )
+        message = Message(
+            kind=MessageKind.DATA,
+            sender=self.name,
+            payload=tagged,
+            epoch=self.epoch,
+            size=item.size,
+        )
+        joiner_names = self.topology.joiner_names
+        ctx.send_fanout(
+            [joiner_names[machine_id] for machine_id in destinations],
+            message,
+            category=TrafficCategory.ROUTING,
+        )
 
     def _flush_routes(self, routes: RouteGroups, ctx: Context) -> None:
         """Send the per-(joiner, epoch) groups gathered from one micro-batch.
@@ -377,6 +523,7 @@ class HashReshufflerTask(ReshufflerTask):
         is_left: bool,
         ctx: Context,
         routes: RouteGroups | None = None,
+        dest_cache: dict | None = None,
     ) -> None:
         predicate = self.topology.predicate
         if predicate.kind != "equi":
@@ -385,7 +532,7 @@ class HashReshufflerTask(ReshufflerTask):
             predicate.left_key(item.record) if is_left else predicate.right_key(item.record)
         )
         machine_id = hash(key) % self.topology.machines
-        tagged = item.with_epoch(self.epoch)
+        tagged = item if item.epoch == self.epoch else item.with_epoch(self.epoch)
         if routes is not None:
             routes.setdefault((machine_id, self.epoch), []).append(tagged)
             return
@@ -462,6 +609,128 @@ class JoinerTask(Task):
             self._maybe_finalize(ctx)
         else:
             raise ValueError(f"joiner {self.name} cannot handle {message.kind}")
+
+    # ---------------------------------------------------- adaptive data plane
+
+    def drain_key(self, message: Message):
+        """Pure probe-and-store DATA runs are drainable; everything else is not.
+
+        Two data paths of the epoch protocol send nothing, relocate nothing
+        and charge the same costs whether handled alone or as a member of a
+        coalesced run — so draining them cannot perturb the virtual clock or
+        the cross-machine message interleaving:
+
+        * NORMAL-phase tuples of the current epoch (HandleTuple1's degenerate
+          path), and
+        * Δ' tuples — pending-epoch data during a migration (Alg. 3 lines
+          12-14/24-26), which probe the µ ∪ Δ' and Keep(τ ∪ Δ) partitions and
+          store locally.
+
+        Old-epoch Δ tuples mid-migration relocate state (``migrate_to``) and
+        must stay per-tuple, as must every non-DATA kind.  The epoch is part
+        of the key, so a run is force-flushed at the epoch edge.
+        """
+        if message.kind is not MessageKind.DATA:
+            return None
+        state = self.state
+        epoch = message.payload.epoch
+        if state.phase is JoinerPhase.NORMAL:
+            if epoch == state.current_epoch:
+                return epoch
+        elif epoch == state.pending_epoch:
+            return epoch
+        return None
+
+    def handle_drained(self, first: Message, inbox, limit: int, key, ctx: Context) -> int:
+        """Probe-and-store one drained run of pure same-epoch data tuples.
+
+        The run is pulled off the inbox head up front (batch probes need the
+        member list), its actions come from
+        :meth:`EpochJoinerState.handle_data_batch` (one grouped index pass;
+        per-member matches and work pinned identical to per-tuple
+        ``handle_data``), and every member's cost is charged with the exact
+        `_apply` arithmetic before :meth:`Context.boundary` commits it to
+        the busy chain — so output timestamps and machine times are
+        bit-identical to per-tuple delivery.  Probe work is integer-valued,
+        so the single deferred metrics record is exact.
+        """
+        items = [first.payload]
+        data_kind = MessageKind.DATA
+        while len(items) < limit and inbox:
+            task, message = inbox[0]
+            # Inline drain_key: the phase cannot change inside one
+            # invocation, so same task + DATA kind + the key epoch is the
+            # whole eligibility check.
+            if (
+                task is not self
+                or message.kind is not data_kind
+                or message.payload.epoch != key
+            ):
+                break
+            inbox.popleft()
+            items.append(message.payload)
+        actions_list = self.state.handle_data_batch(items)
+        machine = ctx.machine
+        if machine is None:  # pragma: no cover - joiners are always hosted
+            for item, actions in zip(items, actions_list):
+                self._apply(actions, item, ctx, migrated=False)
+                ctx.boundary()
+            return len(items)
+        cost_model = machine.cost_model
+        receive_cost = cost_model.receive_cost
+        store_cost = cost_model.store_cost
+        probe_cost = cost_model.probe_cost
+        match_cost = cost_model.match_cost
+        # With an unbounded memory budget the storage factor is identically
+        # 1.0 and never flags a spill, so the per-member call is hoisted.
+        unbounded = cost_model.memory_capacity is None
+        storage_factor = machine.storage_factor
+        record_outputs = ctx.metrics.record_outputs
+        machine_id = self.machine_id
+        boundaries = ctx.drain_boundaries
+        probe_total = 0.0
+        # Pure probe-and-store members never send, so the per-member charge
+        # commit (Context.boundary + Machine.occupy) and the storage
+        # accounting (Machine.add_stored) are inlined: ``now`` walks the busy
+        # chain with exactly the per-tuple float arithmetic (member start ==
+        # busy_until, end = start + member cost).
+        now = ctx.now
+        for item, actions in zip(items, actions_list):
+            work = actions.probe_work
+            probe_total += work
+            # Same arithmetic and accumulation order as _apply.
+            factor = 1.0 if unbounded else storage_factor()
+            cost = 0.0
+            cost += receive_cost
+            if actions.stored:
+                cost += store_cost * factor
+            cost += work * probe_cost * factor
+            matches = actions.matches
+            cost += len(matches) * match_cost
+            if actions.stored:
+                size = item.size
+                machine.stored_size = stored = machine.stored_size + size
+                machine.received_size += size
+                if stored > machine.peak_stored_size:
+                    machine.peak_stored_size = stored
+            end = now + cost
+            if matches:
+                record_outputs(matches, end, machine_id)
+            if actions.migrate_to:  # pragma: no cover - excluded by drain_key
+                raise RuntimeError(
+                    f"joiner {self.name} drained a relocating tuple; "
+                    "drain_key must keep migrating paths per-tuple"
+                )
+            machine.busy_until = end
+            machine.busy_time += cost
+            now = end
+            if boundaries is not None:
+                boundaries.append(end)
+        ctx.now = now
+        ctx.charged = 0.0
+        if probe_total:
+            ctx.metrics.record_probe_work(probe_total)
+        return len(items)
 
     def _handle_batch(self, message: Message, ctx: Context) -> None:
         """Process every member of a routed or migrated micro-batch.
@@ -621,7 +890,7 @@ class JoinerTask(Task):
         match_cost = cost_model.match_cost
         storage_factor = machine.storage_factor
         add_stored = machine.add_stored
-        emit_output = ctx.emit_output
+        emit_outputs = ctx.emit_outputs
         probe_total = 0.0
         for item, actions in zip(items, actions_list):
             work = actions.probe_work
@@ -638,8 +907,8 @@ class JoinerTask(Task):
             ctx.charged += cost
             if actions.stored:
                 add_stored(item.size)
-            for left, right in matches:
-                emit_output(left, right)
+            if matches:
+                emit_outputs(matches)
             if actions.migrate_to:
                 self._send_migrations(actions.migrate_to, ctx, sink)
         if probe_total:
@@ -674,7 +943,6 @@ class JoinerTask(Task):
             if actions.stored and item is not None:
                 machine.add_stored(item.size)
         if actions.matches:
-            for left, right in actions.matches:
-                ctx.emit_output(left, right)
+            ctx.emit_outputs(actions.matches)
         if actions.migrate_to:
             self._send_migrations(actions.migrate_to, ctx, sink)

@@ -12,18 +12,25 @@ The simulation is deterministic given a seed, which makes every experiment in
 ``benchmarks/`` exactly reproducible.
 """
 
+from repro.engine.batching import (
+    AdaptiveBatchController,
+    BatchController,
+    FixedBatchController,
+)
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import LatencySample, MetricsCollector
 from repro.engine.network import Network, TrafficCategory
-from repro.engine.simulator import Event, Simulator
+from repro.engine.simulator import Simulator
 from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams
 from repro.engine.task import Context, Message, MessageKind, Task
 
 __all__ = [
+    "AdaptiveBatchController",
     "ArrivalSchedule",
+    "BatchController",
     "Context",
     "CostModel",
-    "Event",
+    "FixedBatchController",
     "LatencySample",
     "Machine",
     "Message",

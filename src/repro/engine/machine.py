@@ -18,6 +18,7 @@ slower and dominate execution time.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 
 
@@ -100,6 +101,11 @@ class Machine:
     peak_stored_size: float = 0.0
     received_size: float = 0.0
     spilled: bool = field(default=False)
+    #: Member-completion boundaries of the most recent *drained* handler run
+    #: (adaptive data plane), or None, with the run's start time.  See
+    #: :meth:`priority_start`.
+    drain_boundaries: list[float] | None = field(default=None, repr=False)
+    drain_window_start: float = field(default=0.0, repr=False)
 
     @property
     def is_over_memory(self) -> bool:
@@ -115,7 +121,11 @@ class Machine:
         return 1.0
 
     def add_stored(self, size: float) -> None:
-        """Account for ``size`` units of newly stored tuple data."""
+        """Account for ``size`` units of newly stored tuple data.
+
+        NOTE: ``JoinerTask.handle_drained`` inlines this arithmetic in its
+        member loop (adaptive data plane hot path) — keep the two in sync.
+        """
         self.stored_size += size
         self.received_size += size
         self.peak_stored_size = max(self.peak_stored_size, self.stored_size)
@@ -136,7 +146,41 @@ class Machine:
         self.busy_time += duration
         return end
 
+    def record_drain_window(self, start: float, boundaries: list[float]) -> None:
+        """Remember the member boundaries of the drained run that just executed.
+
+        ``boundaries`` are the per-member completion times (ascending); they
+        replace any previous record — by the time a later run executes, every
+        event dated inside the earlier window has already left the queue.
+        ``start`` bounds the window from below: a later event dated *before*
+        the run (possible only across streaming pushes, which restart the
+        virtual clock at zero) must not be mapped into it.
+        """
+        self.drain_window_start = start
+        self.drain_boundaries = boundaries
+
+    def clear_drain_window(self) -> None:
+        """Invalidate the drain window (a plain single-message handler ran)."""
+        if self.drain_boundaries is not None:
+            self.drain_boundaries = None
+
+    def priority_start(self, time: float) -> float:
+        """Start time of a control-plane handler delivered at ``time``.
+
+        On the per-tuple plane this is ``max(time, busy_until)``.  When the
+        last work on this machine was a *drained* run, ``busy_until`` already
+        covers the whole run even though the per-tuple plane would only have
+        processed the members whose ticks precede ``time`` — so a delivery
+        dated inside the drained window starts at the first member boundary
+        after it, exactly where the per-tuple plane would have slotted it.
+        """
+        boundaries = self.drain_boundaries
+        if boundaries and self.drain_window_start <= time <= boundaries[-1]:
+            return boundaries[bisect_left(boundaries, time)]
+        return max(time, self.busy_until)
+
     def reset_clock(self) -> None:
         """Clear busy/idle accounting (used between benchmark repetitions)."""
         self.busy_until = 0.0
         self.busy_time = 0.0
+        self.drain_boundaries = None

@@ -11,6 +11,7 @@ The collector gathers everything the paper's evaluation reports:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.engine.stream import StreamTuple
@@ -53,6 +54,8 @@ class MetricsCollector:
     finish_time: float = 0.0
     progress_times: list[tuple[int, float]] = field(default_factory=list)
     probe_work: float = 0.0
+    #: Drained-run size → count (adaptive data plane only; empty otherwise).
+    drain_histogram: dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------ recording
 
@@ -76,10 +79,42 @@ class MetricsCollector:
             )
         )
 
+    def record_outputs(
+        self,
+        matches: list[tuple[StreamTuple, StreamTuple]],
+        output_time: float,
+        machine_id: int,
+    ) -> None:
+        """Record several join results sharing one emission instant.
+
+        Bulk path for the per-tuple match loop: identical samples to calling
+        :meth:`record_output` per pair, with the collector overhead paid once.
+        """
+        self.output_count += len(matches)
+        if self.collect_outputs:
+            self.outputs.extend(
+                (left.tuple_id, right.tuple_id) for left, right in matches
+            )
+        append = self.latencies.append
+        for left, right in matches:
+            newer_arrival = max(left.arrival_time, right.arrival_time)
+            append(
+                LatencySample(
+                    output_time=output_time,
+                    latency=max(0.0, output_time - newer_arrival),
+                    machine_id=machine_id,
+                )
+            )
+
     def record_probe_work(self, amount: float) -> None:
         """Accumulate joiner probe work units (index candidates inspected,
         floored at one unit per probe — see ``LocalJoiner.probe``)."""
         self.probe_work += amount
+
+    def record_drained_run(self, size: int) -> None:
+        """Count one drain-eligible run of ``size`` coalesced messages."""
+        histogram = self.drain_histogram
+        histogram[size] = histogram.get(size, 0) + 1
 
     def record_input_processed(self, now: float) -> None:
         """Count an input tuple having been routed by a reshuffler."""
@@ -147,10 +182,16 @@ class MetricsCollector:
     # ------------------------------------------------------------ summaries
 
     def average_latency(self) -> float:
-        """Mean output-tuple latency (0 when no output was produced)."""
+        """Mean output-tuple latency (0 when no output was produced).
+
+        Uses exact summation (:func:`math.fsum`) so the mean does not depend
+        on the order outputs were recorded in — joiners on different machines
+        interleave their emissions differently across data planes even when
+        every individual sample is bit-identical.
+        """
         if not self.latencies:
             return 0.0
-        return sum(sample.latency for sample in self.latencies) / len(self.latencies)
+        return math.fsum(sample.latency for sample in self.latencies) / len(self.latencies)
 
     def throughput(self) -> float:
         """Input tuples processed per unit of virtual time."""

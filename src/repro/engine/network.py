@@ -19,6 +19,10 @@ from repro.engine.machine import CostModel
 class TrafficCategory(enum.Enum):
     """Categories of simulated network traffic."""
 
+    # Identity hashing: members are singletons and the per-message traffic
+    # counters key dicts on them (see MessageKind for the same pattern).
+    __hash__ = object.__hash__
+
     ROUTING = "routing"          # reshuffler -> joiner data tuples
     MIGRATION = "migration"      # joiner -> joiner state relocation
     CONTROL = "control"          # signals, acks, mapping changes

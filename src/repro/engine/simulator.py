@@ -29,7 +29,6 @@ import heapq
 import itertools
 import random
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.engine.machine import CostModel, Machine
@@ -43,17 +42,22 @@ PRIORITY_KINDS = frozenset(
     {MessageKind.MAPPING_CHANGE, MessageKind.MIGRATION_ACK, MessageKind.RESUME}
 )
 
-
-@dataclass(order=True, slots=True)
-class Event:
-    """A pending simulation event, ordered by (time, sequence number)."""
-
-    time: float
-    sequence: int
-    kind: str = field(compare=False)              # "deliver" or "tick"
-    destination: str = field(compare=False, default="")
-    message: Message | None = field(compare=False, default=None)
-    machine_id: int = field(compare=False, default=-1)
+# Pending events are plain ``(time, rank, target, message)`` tuples so the
+# heap compares at C speed.  A delivery carries the destination Task and its
+# Message; a machine tick carries the machine id with ``message=None``.
+#
+# ``rank`` breaks time ties *plane-invariantly*: equal-time events order as
+# source-feed deliveries (in feed order) < task sends (by sender machine,
+# destination machine, then the per-link FIFO sequence) < machine ticks (by
+# machine id).  Because the rank is a pure function of the message flow —
+# never of the wall-clock order in which handlers happened to run — the event
+# order, and with it every virtual-time quantity, is identical whether
+# handlers execute one message per event or as coalesced drained runs (the
+# adaptive data plane's bit-exactness relies on this).
+_SEND_RANK_BASE = 1 << 59
+_TICK_RANK_BASE = 1 << 62
+_LINK_SPAN = 1 << 34
+_MACHINE_SPAN = 1 << 12  # > max machines + off-cluster sentinel
 
 
 class Simulator:
@@ -76,18 +80,45 @@ class Simulator:
         collect_outputs: bool = False,
     ) -> None:
         self.cost_model = cost_model or CostModel()
+        if num_machines + 2 >= _MACHINE_SPAN:
+            raise ValueError(
+                f"at most {_MACHINE_SPAN - 3} machines are supported: the "
+                "plane-invariant event rank packs machine ids into "
+                f"{_MACHINE_SPAN}-wide bands"
+            )
         self.machines = [Machine(machine_id=i, cost_model=self.cost_model) for i in range(num_machines)]
         self.network = Network(cost_model=self.cost_model)
         self.metrics = MetricsCollector(collect_outputs=collect_outputs)
         self.rng = random.Random(seed)
         self.tasks: dict[str, Task] = {}
-        self._queue: list[Event] = []
-        self._sequence = itertools.count()
+        self._queue: list[tuple] = []
+        self._schedule_rank = itertools.count()
+        self._link_rank: dict[tuple[int, int], int] = {}
         self._started: set[str] = set()
         self._inboxes: list[deque] = [deque() for _ in range(num_machines)]
         self._tick_scheduled: list[bool] = [False] * num_machines
+        self._drain_controllers: list | None = None
+        # In-flight control-plane (priority) delivery times per machine;
+        # drained runs on the adaptive plane use them to stop before the
+        # point where a control message would take effect (drain horizon).
+        self._pending_priority: list[list[float]] = [[] for _ in range(num_machines)]
         self.now = 0.0
         self.events_processed = 0
+
+    def install_batching(self, controllers: list) -> None:
+        """Enable the adaptive data plane: one drain controller per machine.
+
+        Each controller sizes the runs of drainable inbox messages (see
+        :meth:`repro.engine.task.Task.drain_key`) its machine may coalesce
+        per tick.  Without this call every message is handled individually —
+        the fixed/per-tuple planes.
+        """
+        if len(controllers) != len(self.machines):
+            raise ValueError(
+                f"need one batch controller per machine: got {len(controllers)} "
+                f"for {len(self.machines)} machines"
+            )
+        self._drain_controllers = list(controllers)
 
     # ------------------------------------------------------------------ setup
 
@@ -119,18 +150,26 @@ class Simulator:
 
     def schedule(self, time: float, destination: str, message: Message) -> None:
         """Schedule ``message`` for delivery to ``destination`` at ``time``."""
-        if destination not in self.tasks:
+        task = self.tasks.get(destination)
+        if task is None:
             raise KeyError(f"unknown task: {destination}")
-        heapq.heappush(
-            self._queue,
-            Event(time, next(self._sequence), "deliver", destination=destination, message=message),
+        if message.kind in PRIORITY_KINDS and task.machine_id >= 0:
+            self._pending_priority[task.machine_id].append(time)
+        heapq.heappush(self._queue, (time, next(self._schedule_rank), task, message))
+
+    def _send_rank(self, sender_machine: int, dest_machine: int) -> int:
+        """Plane-invariant rank of one task send (see the module comment)."""
+        link = (sender_machine, dest_machine)
+        sequence = self._link_rank.get(link, 0)
+        self._link_rank[link] = sequence + 1
+        return (
+            _SEND_RANK_BASE
+            + ((sender_machine + 2) * _MACHINE_SPAN + dest_machine + 2) * _LINK_SPAN
+            + sequence
         )
 
     def _schedule_tick(self, machine_id: int, time: float) -> None:
-        heapq.heappush(
-            self._queue,
-            Event(time, next(self._sequence), "tick", machine_id=machine_id),
-        )
+        heapq.heappush(self._queue, (time, _TICK_RANK_BASE + machine_id, machine_id, None))
 
     def feed_schedule(
         self, schedule: ArrivalSchedule, destination_picker, batch_size: int = 1
@@ -161,6 +200,9 @@ class Simulator:
                 )
                 self.schedule(emit_time, destination, message)
             return
+        tasks = self.tasks
+        queue = self._queue
+        schedule_rank = self._schedule_rank
         for arrival_time, item in schedule.arrivals():
             item.arrival_time = arrival_time
             message = Message(
@@ -169,18 +211,20 @@ class Simulator:
                 payload=item,
                 size=item.size,
             )
-            self.schedule(arrival_time, destination_picker(item), message)
+            heapq.heappush(
+                queue,
+                (arrival_time, next(schedule_rank), tasks[destination_picker(item)], message),
+            )
 
     def post(
         self,
-        sender_name: str,
+        sender_task: Task,
         destination: str,
         message: Message,
         category: TrafficCategory,
         ctx: Context,
     ) -> None:
         """Send a message from a task while it is processing (called via Context)."""
-        sender_task = self.tasks[sender_name]
         dest_task = self.tasks[destination]
         departure = ctx.now + ctx.charged
         sender_machine = sender_task.machine_id
@@ -192,7 +236,50 @@ class Simulator:
             delivery = self.network.transfer(
                 sender_machine, dest_machine, message.size, category, departure, units=units
             )
-        self.schedule(delivery, destination, message)
+        if message.kind in PRIORITY_KINDS and dest_machine >= 0:
+            self._pending_priority[dest_machine].append(delivery)
+        heapq.heappush(
+            self._queue,
+            (delivery, self._send_rank(sender_machine, dest_machine), dest_task, message),
+        )
+
+    def post_fanout(
+        self,
+        sender_task: Task,
+        destinations,
+        message: Message,
+        category: TrafficCategory,
+        ctx: Context,
+    ) -> None:
+        """Replicate one data message to several destinations (routing fan-out).
+
+        Equivalent to calling :meth:`post` once per destination — the shared
+        departure time, sender machine and per-link transfers are identical —
+        with the per-send bookkeeping hoisted out of the loop.  Data plane
+        only: single-tuple payloads, non-priority kinds.
+        """
+        tasks = self.tasks
+        transfer = self.network.transfer
+        queue = self._queue
+        link_rank = self._link_rank
+        departure = ctx.now + ctx.charged
+        sender_machine = sender_task.machine_id
+        size = message.size
+        latency = self.cost_model.network_latency
+        sender_base = _SEND_RANK_BASE + (sender_machine + 2) * _MACHINE_SPAN * _LINK_SPAN
+        heappush = heapq.heappush
+        for destination in destinations:
+            dest_task = tasks[destination]
+            dest_machine = dest_task.machine_id
+            if sender_machine < 0 or dest_machine < 0:
+                delivery = departure + latency
+            else:
+                delivery = transfer(sender_machine, dest_machine, size, category, departure)
+            link = (sender_machine, dest_machine)
+            sequence = link_rank.get(link, 0)
+            link_rank[link] = sequence + 1
+            rank = sender_base + (dest_machine + 2) * _LINK_SPAN + sequence
+            heappush(queue, (delivery, rank, dest_task, message))
 
     # ---------------------------------------------------------------- running
 
@@ -206,36 +293,108 @@ class Simulator:
         machine = task.hosted_machine
         if machine is not None and ctx.charged > 0:
             machine.occupy(start, ctx.charged)
+            machine.clear_drain_window()
         self.events_processed += 1
 
-    def _deliver(self, event: Event) -> None:
-        task = self.tasks[event.destination]
+    def _drain_horizon(self, machine_id: int, event_time: float) -> float:
+        """Earliest virtual time a control-plane message could land on ``machine_id``.
+
+        In-flight priority deliveries are known exactly; any priority message
+        not yet sent must be created by an event popping no earlier than the
+        current tick, so its delivery is at least one network latency away.
+        A drained run that stops before this horizon can never swallow a
+        member the per-tuple plane would have processed *after* a control
+        message took effect.
+        """
+        horizon = event_time + self.cost_model.network_latency
+        pending = self._pending_priority[machine_id]
+        if pending:
+            earliest = min(pending)
+            if earliest < horizon:
+                horizon = earliest
+        return horizon
+
+    def _execute_drained(
+        self,
+        task: Task,
+        first: Message,
+        inbox: deque,
+        limit: int,
+        key,
+        start: float,
+        event_time: float,
+        machine_id: int,
+    ) -> None:
+        """Run one drained run of same-key messages in a single invocation.
+
+        The task pulls same-key followers straight off its inbox (up to
+        ``limit``) and closes every member with :meth:`Context.boundary`, so
+        the machine's busy chain, every member's send departure and every
+        output timestamp are bit-identical to per-tuple delivery; the
+        recorded boundaries let later control-plane messages dated inside
+        this window start exactly where the per-tuple plane would have
+        slotted them.  Tasks that must re-check the control-plane horizon
+        between members (adaptive reshufflers) simply stop pulling.
+        """
+        ctx = Context(self, task, start)
+        ctx.drain_boundaries = []
+        ctx.drain_horizon = lambda: self._drain_horizon(machine_id, event_time)
+        if task.name not in self._started:
+            self._started.add(task.name)
+            task.on_start(ctx)
+        count = task.handle_drained(first, inbox, limit, key, ctx)
         machine = task.hosted_machine
-        message = event.message
-        assert message is not None
-        if machine is None or message.kind in PRIORITY_KINDS:
-            # Off-cluster tasks are handled at delivery time.  Control-plane
-            # messages skip the data backlog but still need the CPU: they start
-            # once the machine finishes the handler it is currently running.
-            start = event.time if machine is None else max(event.time, machine.busy_until)
-            self._execute(task, message, start)
+        if ctx.charged > 0:  # defensive: close a run whose tail was not rotated
+            machine.occupy(ctx.now, ctx.charged)
+            ctx.drain_boundaries.append(machine.busy_until)
+        machine.record_drain_window(start, ctx.drain_boundaries)
+        self.metrics.record_drained_run(count)
+        self.events_processed += 1
+
+    def _deliver(self, task: Task, message: Message, time: float) -> None:
+        machine = task.hosted_machine
+        if machine is None:
+            # Off-cluster tasks are handled at delivery time.
+            self._execute(task, message, time)
+            return
+        if message.kind in PRIORITY_KINDS:
+            # Control-plane messages skip the data backlog but still need the
+            # CPU: they start once the machine finishes the handler it is
+            # currently running — on the adaptive plane, the per-tuple-
+            # equivalent boundary of the last drained run.
+            self._pending_priority[machine.machine_id].remove(time)
+            self._execute(task, message, machine.priority_start(time))
             return
         inbox = self._inboxes[machine.machine_id]
         inbox.append((task, message))
         if not self._tick_scheduled[machine.machine_id]:
             self._tick_scheduled[machine.machine_id] = True
-            self._schedule_tick(machine.machine_id, max(event.time, machine.busy_until))
+            self._schedule_tick(machine.machine_id, max(time, machine.busy_until))
 
-    def _tick(self, event: Event) -> None:
-        machine_id = event.machine_id
+    def _tick(self, machine_id: int, time: float) -> None:
         inbox = self._inboxes[machine_id]
         if not inbox:
             self._tick_scheduled[machine_id] = False
             return
-        task, message = inbox.popleft()
         machine = self.machines[machine_id]
-        start = max(event.time, machine.busy_until)
-        self._execute(task, message, start)
+        start = max(time, machine.busy_until)
+        if self._drain_controllers is not None:
+            task, message = inbox.popleft()
+            key = task.drain_key(message)
+            if key is None:
+                self._execute(task, message, start)
+            else:
+                limit = self._drain_controllers[machine_id].next_batch_size(1 + len(inbox))
+                if limit > 1 and inbox:
+                    self._execute_drained(
+                        task, message, inbox, limit, key, start, time, machine_id
+                    )
+                else:
+                    self.metrics.record_drained_run(1)
+                    self._execute(task, message, start)
+        else:
+            task, message = inbox.popleft()
+            self._execute(task, message, start)
         if inbox:
             self._schedule_tick(machine_id, max(machine.busy_until, start))
         else:
@@ -247,13 +406,15 @@ class Simulator:
         Completion time is the larger of the last event's time and the
         busiest machine's final ``busy_until``.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            self.now = max(self.now, event.time)
-            if event.kind == "deliver":
-                self._deliver(event)
+        queue = self._queue
+        while queue:
+            time, _sequence, target, message = heapq.heappop(queue)
+            if time > self.now:
+                self.now = time
+            if message is None:
+                self._tick(target, time)
             else:
-                self._tick(event)
+                self._deliver(target, message, time)
             if max_events is not None and self.events_processed > max_events:
                 raise RuntimeError(
                     f"simulation exceeded {max_events} events; possible signalling loop"

@@ -28,6 +28,11 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers onl
 class MessageKind(enum.Enum):
     """The kinds of messages exchanged by tasks."""
 
+    # Members are singletons; identity hashing keeps the hot per-message
+    # dict/set operations (priority checks, traffic counters) at C speed
+    # instead of going through Enum.__hash__.
+    __hash__ = object.__hash__
+
     DATA = "data"                      # a stream tuple routed to a joiner
     SOURCE = "source"                  # a stream tuple arriving at a reshuffler
     MIGRATION = "migration"            # a relocated tuple during migration
@@ -74,13 +79,19 @@ class Context:
     metrics collector.
     """
 
-    __slots__ = ("_simulator", "_task", "now", "charged")
+    __slots__ = ("_simulator", "_task", "now", "charged", "drain_boundaries", "drain_horizon")
 
     def __init__(self, simulator: "Simulator", task: "Task", now: float) -> None:
         self._simulator = simulator
         self._task = task
         self.now = now
         self.charged = 0.0
+        # Member-completion times of a drained run (adaptive data plane);
+        # allocated by the simulator before Task.handle_drained runs.
+        self.drain_boundaries: list[float] | None = None
+        # Zero-argument callable returning the current control-plane drain
+        # horizon (see Simulator._drain_horizon); set for drained runs only.
+        self.drain_horizon = None
 
     @property
     def metrics(self):
@@ -118,7 +129,20 @@ class Context:
         category: TrafficCategory = TrafficCategory.ROUTING,
     ) -> None:
         """Send ``message`` to the task named ``destination``."""
-        self._simulator.post(self._task.name, destination, message, category, self)
+        self._simulator.post(self._task, destination, message, category, self)
+
+    def send_fanout(
+        self,
+        destinations,
+        message: Message,
+        category: TrafficCategory = TrafficCategory.ROUTING,
+    ) -> None:
+        """Send one data message to every task name in ``destinations``.
+
+        Identical to calling :meth:`send` per destination (same departures,
+        same per-link transfers, same delivery order); data plane only.
+        """
+        self._simulator.post_fanout(self._task, destinations, message, category, self)
 
     def emit_output(self, left: StreamTuple, right: StreamTuple) -> None:
         """Record one join result tuple.
@@ -133,6 +157,36 @@ class Context:
         self._simulator.metrics.record_output(
             left, right, self.now + self.charged, self._task.machine_id
         )
+
+    def emit_outputs(self, matches: "list[tuple[StreamTuple, StreamTuple]]") -> None:
+        """Record a batch of join results emitted at the same instant.
+
+        Bulk counterpart of :meth:`emit_output` for the match loop of one
+        handled tuple: every pair shares the output time ``now + charged``
+        (the per-pair ``match_cost`` is charged *before* emission either
+        way), so the recorded samples are identical to per-pair calls while
+        the collector bookkeeping is paid once per tuple.
+        """
+        self._simulator.metrics.record_outputs(
+            matches, self.now + self.charged, self._task.machine_id
+        )
+
+    def boundary(self) -> None:
+        """Close the current member of a drained run (adaptive data plane).
+
+        Commits the member's accumulated charge to the hosting machine —
+        exactly the ``occupy`` a per-tuple handler completion performs — and
+        starts the next member at the resulting busy time, so a drained run
+        reproduces the per-tuple busy chain float-for-float.  The completion
+        time is appended to :attr:`drain_boundaries` for control-plane
+        message scheduling (see :meth:`repro.engine.machine.Machine.priority_start`).
+        """
+        if self.charged > 0:
+            machine = self._task.hosted_machine
+            self.now = machine.occupy(self.now, self.charged)
+            self.charged = 0.0
+        if self.drain_boundaries is not None:
+            self.drain_boundaries.append(self.now)
 
 
 class Task:
@@ -154,6 +208,48 @@ class Task:
     def handle(self, message: Message, ctx: Context) -> None:
         """Process one message.  Implemented by subclasses."""
         raise NotImplementedError
+
+    def drain_key(self, message: Message):
+        """Coalescing key of ``message`` on the adaptive data plane.
+
+        The simulator drains consecutive inbox messages for the same task
+        while their keys are equal and not None; a ``None`` marks the message
+        as per-tuple-only.  Keys must only be returned for messages whose
+        handling (a) sends nothing over the network and charges work
+        identically when processed back-to-back, or (b) is a pure function of
+        the task's own state — so that draining cannot perturb the virtual
+        clock or cross-machine message interleaving.  The default is
+        conservative: nothing is drainable.
+        """
+        return None
+
+    def handle_drained(self, first: Message, inbox, limit: int, key, ctx: Context) -> int:
+        """Process one drained run: ``first`` plus same-key followers pulled
+        from the head of ``inbox`` (up to ``limit`` members total).
+
+        Implementations MUST call :meth:`Context.boundary` after each member
+        so per-member charges land on the machine's busy chain exactly as
+        per-tuple handling would, MUST only pull inbox heads belonging to
+        this task whose :meth:`drain_key` equals ``key``, and return the
+        member count.  The default processes members through :meth:`handle`
+        one by one — bit-identical to per-tuple delivery, saving only
+        simulator events; subclasses may batch the member work itself (see
+        ``JoinerTask``) or stop pulling early (e.g. at the control-plane
+        drain horizon, see ``ReshufflerTask``) as long as per-member
+        accounting is preserved.
+        """
+        self.handle(first, ctx)
+        ctx.boundary()
+        count = 1
+        while count < limit and inbox:
+            task, message = inbox[0]
+            if task is not self or self.drain_key(message) != key:
+                break
+            inbox.popleft()
+            self.handle(message, ctx)
+            ctx.boundary()
+            count += 1
+        return count
 
     def on_start(self, ctx: Context) -> None:
         """Hook invoked once before the first message is delivered."""

@@ -1,0 +1,65 @@
+"""Differential-testing helpers for operator runs.
+
+The repository leans on differential testing throughout: the scalar probe
+engine is the oracle for the vectorized one, and the per-tuple data plane is
+the oracle for the adaptive one.  :func:`assert_run_equivalent` is the shared
+assertion those suites (and third-party backends registered through
+:mod:`repro.api`) compare :class:`~repro.core.results.RunResult`\\ s with.
+"""
+
+from __future__ import annotations
+
+
+def assert_run_equivalent(result_a, result_b, *, timing=True, network=True, label=""):
+    """Assert two :class:`~repro.core.results.RunResult`\\ s are equivalent.
+
+    The baseline comparison (always on) pins the *semantics*: join output (as
+    sorted tuple-id pairs, when collected), output count, the migration
+    sequence (epochs and mappings) and the final mapping.
+
+    ``timing=True`` additionally pins exact virtual-time and work accounting:
+    execution time, average latency, per-machine busy chains, charged probe
+    work, peak ILF, the spill flag and the migration decision/completion
+    times.  Use it when the two runs are meant to be *bit-identical*
+    simulations (probe-engine pairs at one batch size, adaptive vs per-tuple
+    plane); drop it when only the results must agree (fixed-plane runs across
+    batch sizes, where virtual-time compression legitimately shifts the epoch
+    edge).
+
+    ``network=True`` pins the traffic volumes per category.
+    """
+    prefix = f"{label}: " if label else ""
+    if result_a.outputs is not None and result_b.outputs is not None:
+        assert sorted(result_a.outputs) == sorted(result_b.outputs), (
+            f"{prefix}join outputs differ"
+        )
+    assert result_a.output_count == result_b.output_count, f"{prefix}output_count"
+    assert result_a.migrations == result_b.migrations, f"{prefix}migration count"
+    mapping_seq_a = [(e[0], e[1], e[2]) for e in result_a.migration_events]
+    mapping_seq_b = [(e[0], e[1], e[2]) for e in result_b.migration_events]
+    assert mapping_seq_a == mapping_seq_b, f"{prefix}migration sequence"
+    assert result_a.final_mapping == result_b.final_mapping, f"{prefix}final mapping"
+    if timing:
+        assert result_a.execution_time == result_b.execution_time, (
+            f"{prefix}execution_time {result_a.execution_time} != {result_b.execution_time}"
+        )
+        assert result_a.average_latency == result_b.average_latency, (
+            f"{prefix}average_latency"
+        )
+        assert result_a.machine_busy == result_b.machine_busy, (
+            f"{prefix}per-machine busy times"
+        )
+        assert result_a.probe_work == result_b.probe_work, f"{prefix}probe_work"
+        assert result_a.max_ilf == result_b.max_ilf, f"{prefix}max_ilf"
+        assert result_a.migration_events == result_b.migration_events, (
+            f"{prefix}migration timing"
+        )
+        assert result_a.spilled == result_b.spilled, f"{prefix}spill flag"
+    if network:
+        assert result_a.routing_volume == result_b.routing_volume, f"{prefix}routing volume"
+        assert result_a.migration_volume == result_b.migration_volume, (
+            f"{prefix}migration volume"
+        )
+        assert result_a.total_network_volume == result_b.total_network_volume, (
+            f"{prefix}total network volume"
+        )

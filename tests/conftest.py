@@ -1,4 +1,4 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and assertion helpers for the test suite."""
 
 from __future__ import annotations
 
@@ -8,6 +8,7 @@ import pytest
 
 from repro.data.queries import make_query
 from repro.data.tpch import generate_dataset
+from repro.testing import assert_run_equivalent  # noqa: F401  (shared helper re-export)
 
 
 @pytest.fixture(scope="session")

@@ -117,6 +117,64 @@ class TestRunConfig:
             RunConfig().machines = 4
 
 
+class TestBatchingKnobs:
+    """Error paths and serialisation of the batching-plane configuration."""
+
+    def test_unknown_batching_lists_registered_choices(self):
+        with pytest.raises(ValueError, match="adaptive.*fixed|fixed.*adaptive"):
+            RunConfig(batching="turbo")
+
+    def test_batch_max_rejected_on_fixed_plane(self):
+        with pytest.raises(ValueError, match="batch_max.*adaptive|adaptive.*batch_max"):
+            RunConfig(batching="fixed", batch_max=32)
+        with pytest.raises(ValueError):
+            RunConfig(batch_max=32)  # batching defaults to "fixed"
+
+    def test_batch_size_rejected_on_adaptive_plane(self):
+        with pytest.raises(ValueError, match="batch_size.*fixed plane"):
+            RunConfig(batching="adaptive", batch_size=64)
+
+    def test_blocking_rejected_on_adaptive_plane(self):
+        with pytest.raises(ValueError, match="non-blocking"):
+            RunConfig(batching="adaptive", blocking=True)
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"batching": 7},
+            {"batching": "adaptive", "batch_max": 0},
+            {"batching": "adaptive", "batch_max": -3},
+            {"batch_max": 1.5, "batching": "adaptive"},
+        ],
+    )
+    def test_invalid_batching_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            RunConfig(**overrides)
+
+    def test_adaptive_knobs_json_round_trip(self):
+        config = RunConfig(machines=8, batching="adaptive", batch_max=32)
+        assert RunConfig.from_json(config.to_json()) == config
+        as_dict = config.to_dict()
+        assert as_dict["batching"] == "adaptive"
+        assert as_dict["batch_max"] == 32
+        assert RunConfig.from_dict(as_dict) == config
+
+    def test_adaptive_eagerly_validated_at_operator_construction(self, eq5_query):
+        from repro.core.operator import GridJoinOperator
+
+        with pytest.raises(ValueError, match="registered choices"):
+            GridJoinOperator(eq5_query, config=RunConfig(), batching="turbo")
+
+    def test_adaptive_flows_through_session(self, eq5_query):
+        session = JoinSession(
+            eq5_query, config=RunConfig(machines=8, seed=3, batching="adaptive")
+        )
+        result = session.run()
+        assert result.batching == "adaptive"
+        assert result.batch_histogram
+        assert result.output_count > 0
+
+
 # ---------------------------------------------------------------------------
 # Registries
 # ---------------------------------------------------------------------------

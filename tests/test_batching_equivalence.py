@@ -25,6 +25,7 @@ latency totals behind ``average_latency`` — would diverge between the two.
 import random
 
 import pytest
+from repro.testing import assert_run_equivalent
 
 from repro.core.baselines import StaticMidOperator
 from repro.core.operator import AdaptiveJoinOperator
@@ -54,37 +55,25 @@ def _assert_equivalent(operator_class, query, **kwargs):
     assert reference.outputs is not None
     for batch_size in BATCH_SIZES:
         batched = _run(operator_class, query, order, batch_size=batch_size, **kwargs)
-        assert sorted(batched.outputs) == sorted(reference.outputs), (
-            f"batch_size={batch_size} changed the join output"
+        # Across fixed-plane batch sizes only the *results* are pinned:
+        # virtual-time compression legitimately shifts the epoch edge, so
+        # timing and per-category volumes may differ.
+        assert_run_equivalent(
+            reference, batched, timing=False, network=False,
+            label=f"batch_size={batch_size}",
         )
-        assert batched.migrations == reference.migrations
-        assert batched.final_mapping == reference.final_mapping
-        assert batched.output_count == reference.output_count
-        # Exact work accounting: the vectorized probe engine must charge
-        # per-run probe work identical to the per-member scalar path, at
-        # every batch size (probe_work floats are integer-valued sums, so
-        # exact equality is well-defined).
+        # The scalar (per-member reference) engine at the same batch size must
+        # be a bit-identical simulation: identical probe work, output timing,
+        # storage peaks and network traffic.  This doubles as the pin for the
+        # per-batch aggregated cost bookkeeping (JoinerTask._apply_data_batch).
         scalar = _run(
             operator_class, query, order, batch_size=batch_size,
             probe_engine="scalar", **kwargs,
         )
         assert batched.probe_work > 0
-        assert batched.probe_work == scalar.probe_work, (
-            f"batch_size={batch_size}: vectorized probe engine changed the "
-            "charged probe work"
+        assert_run_equivalent(
+            scalar, batched, label=f"scalar-vs-vectorized@batch_size={batch_size}"
         )
-        assert sorted(scalar.outputs) == sorted(batched.outputs)
-        assert scalar.execution_time == batched.execution_time, (
-            f"batch_size={batch_size}: probe engine changed simulated time"
-        )
-        # Aggregated per-batch cost bookkeeping must preserve per-member
-        # attribution bit-for-bit: output timestamps feed latency, storage
-        # factors feed spill behaviour — all must match the per-member path.
-        assert scalar.average_latency == batched.average_latency, (
-            f"batch_size={batch_size}: cost aggregation changed output timing"
-        )
-        assert scalar.max_ilf == batched.max_ilf
-        assert scalar.total_network_volume == batched.total_network_volume
 
 
 class TestBatchedEquivalence:

@@ -11,6 +11,7 @@ the same probe work when probing tag-partitioned stores mid-migration.
 import random
 
 import pytest
+from repro.testing import assert_run_equivalent
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -186,6 +187,49 @@ class TestPropertyBased:
         ):
             assert _pair_ids(item, s_matches) == _pair_ids(item, v_matches)
             assert s_work == v_work
+
+
+class TestEngineRunEquivalence:
+    """Run-level scalar-vs-vectorized pin through the shared helper.
+
+    The scalar engine is the differential-testing oracle: on any full
+    operator run it must produce a bit-identical simulation — outputs,
+    migration sequence and timing, per-machine busy chains, probe work,
+    latency and network volumes (``assert_run_equivalent`` with full
+    strictness).  The per-batch/per-batch-size sweep lives in
+    ``test_batching_equivalence.py``; this pins the engines on both data
+    planes at operator defaults.
+    """
+
+    @pytest.mark.parametrize("query_name", ["EQ5", "BNCI"])
+    @pytest.mark.parametrize("batching", ["fixed", "adaptive"])
+    def test_scalar_oracle_is_bit_identical(self, small_dataset, query_name, batching):
+        from repro.api import JoinSession, RunConfig
+        from repro.data.queries import make_query
+        from repro.engine.stream import interleave_streams, make_tuples
+
+        query = make_query(query_name, small_dataset)
+        rng = random.Random(5)
+        left = make_tuples(
+            query.left_relation, query.left_records, rng, query.left_tuple_size
+        )
+        right = make_tuples(
+            query.right_relation, query.right_records, rng, query.right_tuple_size
+        )
+        order = interleave_streams(left, right, rng)
+        results = {}
+        for engine in ("scalar", "vectorized"):
+            config = RunConfig(
+                machines=8, seed=5, warmup_tuples=16, probe_engine=engine,
+                batching=batching,
+            )
+            results[engine] = JoinSession(query, config=config).run(
+                arrival_order=order, collect_outputs=True
+            )
+        assert_run_equivalent(
+            results["scalar"], results["vectorized"],
+            label=f"{query_name}/{batching}",
+        )
 
 
 def _shadow_candidate_count(stored_by_tag, item):
