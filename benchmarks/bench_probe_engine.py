@@ -30,7 +30,7 @@ from repro.joins.predicates import (  # noqa: E402
     EquiPredicate,
 )
 
-FLAVOURS = ("equi", "band", "composite")
+FLAVOURS = ("equi", "band", "band_exact", "composite")
 
 
 def _predicate(flavour):
@@ -38,6 +38,12 @@ def _predicate(flavour):
         return EquiPredicate("k", "k")
     if flavour == "band":
         return BandPredicate("v", "v", width=40)
+    if flavour == "band_exact":
+        # The workload's band keys are integers, so the predicate may
+        # truthfully advertise range completeness: the ordered-index window
+        # [key-width, key+width] exactly decides the condition and the
+        # vectorized engine skips per-candidate re-validation.
+        return BandPredicate("v", "v", width=40, range_complete=True)
     return CompositePredicate(
         EquiPredicate("k", "k"), residuals=[lambda l, r: (l["v"] + r["v"]) % 2 == 0]
     )
@@ -126,9 +132,16 @@ def test_probe_engine_microbench():
     assert by_flavour["equi"]["speedup"] >= 1.5, by_flavour["equi"]
     # Composite residuals still run, but only the residuals.
     assert by_flavour["composite"]["speedup"] >= 1.0, by_flavour["composite"]
-    # Band probes validate every candidate (float band edges are not
+    # Default band probes validate every candidate (float band edges are not
     # exact-key decidable); the batch path must at least not regress.
     assert by_flavour["band"]["speedup"] >= 0.7, by_flavour["band"]
+    # A range-complete band predicate (integer keys, integer width) skips
+    # per-candidate re-validation like the equi fast path — the window IS the
+    # match set, so the win scales with candidate counts.
+    assert by_flavour["band_exact"]["speedup"] >= 1.5, by_flavour["band_exact"]
+    # Fast path or not, the matches and charged work must be identical.
+    assert by_flavour["band_exact"]["matches"] == by_flavour["band"]["matches"]
+    assert by_flavour["band_exact"]["probe_work"] == by_flavour["band"]["probe_work"]
 
 
 if __name__ == "__main__":

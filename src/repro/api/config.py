@@ -69,6 +69,15 @@ class RunConfig:
         batch_max: largest run the adaptive controller may coalesce
             (``None`` = the controller's default, 64).  Rejected when
             ``batching="fixed"``.
+        delivery_merging: wire-level conservative delivery merging — data
+            messages on one (sender, destination) FIFO link merge into single
+            ``DeliveryRun`` heap events whose members settle into the
+            receiver's inbox in exact per-tuple ``(time, rank)`` order, so
+            results and virtual times are bit-identical to the unmerged wire
+            (pinned by the conformance suite).  ``None`` (default) enables it
+            for receiver-draining planes (``batching="adaptive"``) and leaves
+            the fixed/per-tuple planes unmerged; pass an explicit bool to
+            override either way.
         arrival_pattern: interleaving of the two input streams (pacing).
         inter_arrival: virtual-time gap between consecutive arrivals (pacing;
             0 = joiners fully utilised).
@@ -86,6 +95,7 @@ class RunConfig:
     probe_engine: str = "vectorized"
     batching: str = "fixed"
     batch_max: int | None = None
+    delivery_merging: bool | None = None
     arrival_pattern: str = "uniform"
     inter_arrival: float = 0.0
 
@@ -105,6 +115,7 @@ class RunConfig:
             ("probe_engine", self.probe_engine, str, False),
             ("batching", self.batching, str, False),
             ("batch_max", self.batch_max, int, True),
+            ("delivery_merging", self.delivery_merging, bool, True),
             ("arrival_pattern", self.arrival_pattern, str, False),
             ("inter_arrival", self.inter_arrival, (int, float), False),
         )

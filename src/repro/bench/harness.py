@@ -49,7 +49,8 @@ class ExperimentConfig:
         batch_max: adaptive-plane run-size cap (``None`` = controller default).
         operator_kwargs: extra :class:`RunConfig` field overrides (and the
             operator-specific ``adaptive`` / ``initial_mapping``) applied to
-            every run under this config.
+            every run under this config — e.g. ``{"delivery_merging": False}``
+            to benchmark the adaptive plane on the unmerged wire.
     """
 
     machines: int = 16

@@ -13,12 +13,14 @@ Every operator class registers itself in the
 :data:`repro.api.registry.operators` registry (``Dynamic`` and ``Grid``
 register in :mod:`repro.core.operator`); the public way to construct by kind
 name is :func:`repro.api.build_operator`.  :func:`make_operator` survives as
-a thin compatibility shim over the registry.
+a registry front door that routes every knob through a validated
+:class:`~repro.api.config.RunConfig` (the loose-kwargs constructor shim it
+used to feed was removed after its deprecation release).
 """
 
 from __future__ import annotations
 
-from repro.api.registry import operators, register_operator
+from repro.api.registry import register_operator
 from repro.core.mapping import square_mapping
 from repro.core.operator import GridJoinOperator, theoretical_optimal_mapping
 from repro.core.tasks import HashReshufflerTask, ReshufflerTask
@@ -74,12 +76,15 @@ register_operator("SHJ", SymmetricHashOperator)
 
 
 def make_operator(kind: str, query: JoinQuery, machines: int | None = None, **kwargs):
-    """Compatibility shim over the operator registry.
+    """Registry front door mirroring :func:`repro.api.build_operator`.
 
-    Prefer :func:`repro.api.build_operator` (config-based).  This keeps the
-    historical ``make_operator(kind, query, machines, **loose_kwargs)``
-    calling convention working; the loose kwargs funnel through the operator's
-    deprecation shim, so they warn but produce bit-identical results.
+    The historical loose-kwargs *constructor* shim was removed after its
+    deprecation release; this helper now routes every knob through a
+    validated :class:`~repro.api.config.RunConfig` (``machines`` and keyword
+    overrides are config overrides; ``config=`` may be passed explicitly).
     """
-    operator_class = operators.get(kind)
-    return operator_class(query, machines, **kwargs)
+    from repro.api.session import build_operator
+
+    if machines is not None:
+        kwargs["machines"] = machines
+    return build_operator(kind, query, kwargs.pop("config", None), **kwargs)

@@ -158,15 +158,19 @@ class EpochJoinerState:
         assert parts is not None
         matches: list[StreamTuple] = []
         inspected = 0
+        # The partitions share one predicate: resolve the probe side/key once
+        # and use the keyed index entry points for all four.
+        is_left, key = parts[_OLD_KEEP].probe_plan(item)
+        record = item.record
         for name in _PARTITIONS:
             part = parts[name]
             if name in select:
-                part_matches, part_inspected = part.raw_probe(item)
+                part_matches, part_inspected = part.keyed_raw_probe(is_left, key, record)
                 inspected += part_inspected
                 if part_matches:
                     matches.extend(part_matches)
             else:
-                inspected += part.candidate_count(item)
+                inspected += part.keyed_candidate_count(is_left, key)
         actions.probe_work += float(max(inspected, 1))
         if matches:
             actions.matches.extend(self._oriented(item, match) for match in matches)
@@ -242,7 +246,63 @@ class EpochJoinerState:
                         actions.matches = [oriented(item, match) for match in matches]
                     results.append(actions)
                 return results
+        else:
+            pending = self.pending_epoch
+            if pending is not None and all(item.epoch == pending for item in items):
+                return self._delta_prime_batch(items)
         return [self.handle_data(item) for item in items]
+
+    def _delta_prime_batch(self, items: list[StreamTuple]) -> list[TupleActions]:
+        """Batched Δ' handling: one loop, per-member semantics of
+        :meth:`_handle_delta_prime`.
+
+        Each member runs the exact two protocol probes — ``µ ∪ Δ'`` then
+        ``Keep(τ ∪ Δ)``, each with the unselected partitions' candidate
+        counts folded in and floored at one work unit — and is inserted into
+        ``Δ'`` before the next member probes (intra-batch self-join
+        semantics), so matches, work and storage are bit-identical to the
+        per-tuple path.  Hoisted out of the member loop: the partition
+        lookups, the probe-side/key resolution (once per member instead of
+        once per partition visit) and the method dispatch.
+        """
+        parts = self._parts
+        assert parts is not None
+        keep_part = parts[_OLD_KEEP]
+        drop_part = parts[_OLD_DROP]
+        new_part = parts[_NEW]
+        mu_part = parts[_MU]
+        oriented = self._oriented
+        new_insert = new_part.insert
+        results: list[TupleActions] = []
+        append = results.append
+        for item in items:
+            is_left, key = new_part.probe_plan(item)
+            record = item.record
+            # Probe 1 — µ ∪ Δ' (Alg. 3 lines 12-14): counts of old_keep and
+            # old_drop, probes of new and mu, in _PARTITIONS order.
+            inspected = keep_part.keyed_candidate_count(is_left, key)
+            inspected += drop_part.keyed_candidate_count(is_left, key)
+            matches, new_inspected = new_part.keyed_raw_probe(is_left, key, record)
+            mu_matches, mu_inspected = mu_part.keyed_raw_probe(is_left, key, record)
+            inspected += new_inspected + mu_inspected
+            if mu_matches:
+                matches.extend(mu_matches)
+            work = float(inspected) if inspected > 0 else 1.0
+            # Probe 2 — Keep(τ ∪ Δ) (Alg. 3 lines 24-26).
+            keep_matches, keep_inspected = keep_part.keyed_raw_probe(is_left, key, record)
+            inspected2 = keep_inspected + drop_part.keyed_candidate_count(is_left, key)
+            inspected2 += new_part.keyed_candidate_count(is_left, key)
+            inspected2 += mu_part.keyed_candidate_count(is_left, key)
+            actions = TupleActions(
+                probe_work=work + (float(inspected2) if inspected2 > 0 else 1.0),
+                stored=True,
+            )
+            if matches or keep_matches:
+                actions.matches = [oriented(item, match) for match in matches]
+                actions.matches.extend(oriented(item, match) for match in keep_matches)
+            new_insert(item)
+            append(actions)
+        return results
 
     def _handle_delta(self, item: StreamTuple, actions: TupleActions) -> TupleActions:
         """Old-epoch tuple during migration (Alg. 3 lines 15-20)."""

@@ -17,7 +17,6 @@ the SHJ comparator of §5 are thin subclasses (see
 from __future__ import annotations
 
 import random
-import warnings
 from typing import Sequence
 
 from repro.api.config import RunConfig
@@ -38,23 +37,6 @@ from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams
 DEFAULT_BATCH_SIZE = 64
 
 
-def _caller_stacklevel() -> int:
-    """Stacklevel attributing a warning to the first frame outside ``repro``.
-
-    The deprecation shim is reached through varying depths of repro-internal
-    frames (subclass ``__init__``s, ``make_operator``), so a fixed stacklevel
-    would blame repro's own source lines instead of the user's call site.
-    """
-    import sys
-
-    level = 1
-    frame = sys._getframe(1)
-    while frame is not None and frame.f_globals.get("__name__", "").startswith("repro."):
-        frame = frame.f_back
-        level += 1
-    return level
-
-
 class GridJoinOperator:
     """Base class: a parallel join operator over a grid-partitioned cluster.
 
@@ -65,10 +47,9 @@ class GridJoinOperator:
     Every run knob lives on the :class:`~repro.api.config.RunConfig`; keyword
     overrides passed alongside ``config`` are applied on top of it (call-site
     beats config).  The pre-``repro.api`` loose-kwargs construction —
-    ``GridJoinOperator(query, 16, seed=7, ...)`` without a ``config`` — still
-    works for one release but emits a :class:`DeprecationWarning`; it builds
-    the exact same :class:`RunConfig` internally, so results are bit-identical
-    (pinned by the migration test).
+    ``GridJoinOperator(query, 16, seed=7, ...)`` without a ``config`` —
+    completed its one-release :class:`DeprecationWarning` period and now
+    raises :class:`TypeError` pointing at the config path.
 
     Args:
         query: the workload (two materialised input streams + predicate).
@@ -109,12 +90,12 @@ class GridJoinOperator:
     ) -> None:
         if config is None:
             if machines is not None or knobs:
-                warnings.warn(
+                raise TypeError(
                     f"constructing {type(self).__name__} from loose keyword "
-                    "arguments is deprecated; pass config=RunConfig(...) "
-                    "(see repro.api)",
-                    DeprecationWarning,
-                    stacklevel=_caller_stacklevel(),
+                    "arguments was removed after its deprecation release; "
+                    "pass config=RunConfig(...) — optionally with keyword "
+                    "overrides on top — or use repro.api.build_operator / "
+                    "JoinSession (see repro.api)"
                 )
             config = RunConfig()
         overrides = dict(knobs)
@@ -160,6 +141,15 @@ class GridJoinOperator:
                 DEFAULT_BATCH_SIZE if config.batch_size is None else int(config.batch_size)
             )
             self.batch_max = None
+        # Wire-level delivery merging defaults on for receiver-draining planes
+        # (it is what lets them match the fixed plane's wall-clock at
+        # reference semantics) and off for the fixed/per-tuple planes, whose
+        # per-tuple wire is itself the pinned reference.
+        self.delivery_merging = (
+            self._drains
+            if config.delivery_merging is None
+            else config.delivery_merging
+        )
 
     # ------------------------------------------------------------------ build
 
@@ -263,6 +253,8 @@ class GridJoinOperator:
             simulator.install_batching(
                 [controller_class(**kwargs) for _ in range(self.machines)]
             )
+        if self.delivery_merging:
+            simulator.enable_delivery_merging()
         topology = self._build_topology()
         tasks = self._build_tasks(topology, expected_inputs)
         simulator.register_all(tasks)
@@ -349,6 +341,11 @@ class GridJoinOperator:
             batch_size=self.batch_size,
             batching=self.batching,
             batch_histogram=dict(metrics.drain_histogram) if self._drains else None,
+            delivery_merging=self.delivery_merging,
+            heap_events=simulator.heap_events,
+            wire_histogram=(
+                dict(metrics.wire_histogram) if self.delivery_merging else None
+            ),
             migration_events=[
                 (
                     event.epoch,

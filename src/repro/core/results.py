@@ -40,6 +40,15 @@ class RunResult:
         batch_histogram: drained-run size → count on the adaptive plane
             (None on the fixed plane) — the batch-size trace showing how the
             controller sized runs under the workload's backlog.
+        delivery_merging: whether wire-level delivery merging was enabled.
+        heap_events: events popped from the simulator's global heap —
+            deliveries (or merged delivery runs), machine ticks, control
+            messages.  The quantity delivery merging collapses; contrast with
+            ``events_processed`` (handler invocations), which receiver
+            draining collapses.
+        wire_histogram: merged delivery-run length → count per FIFO link
+            (None with merging off) — localises coalescing changes to the
+            wire (this) versus the receiver (``batch_histogram``).
         migration_events: the full migration sequence as
             ``(epoch, old_mapping, new_mapping, decided_at, completed_at)``
             tuples — pinned identical across data planes by the adaptive
@@ -79,6 +88,9 @@ class RunResult:
     batch_size: int = 1
     batching: str = "fixed"
     batch_histogram: dict[int, int] | None = None
+    delivery_merging: bool = False
+    heap_events: int = 0
+    wire_histogram: dict[int, int] | None = None
     migration_events: list[tuple] = field(default_factory=list)
     machine_busy: list[tuple[float, float]] = field(default_factory=list)
     probe_work: float = 0.0

@@ -19,7 +19,7 @@ from repro.core.mapping import GridPlacement, Mapping
 from repro.core.migration import MigrationPlan, plan_migration
 from repro.engine.network import TrafficCategory
 from repro.engine.stream import StreamTuple, TupleBatch
-from repro.engine.task import Context, Message, MessageKind, Task
+from repro.engine.task import Context, DataEnvelope, Message, MessageKind, Task
 from repro.joins.local import make_local_joiner
 from repro.joins.predicates import JoinPredicate
 
@@ -39,13 +39,16 @@ def _envelope(
     """Wrap grouped tuples for one destination: a plain per-tuple message for
     a singleton, a BATCH carrying a :class:`TupleBatch` otherwise."""
     if len(items) == 1:
+        if not meta:
+            # Meta-free singletons (routed DATA) ride the slim envelope.
+            return DataEnvelope(inner, sender, items[0], epoch, items[0].size)
         return Message(
             kind=inner,
             sender=sender,
             payload=items[0],
             epoch=epoch,
             size=items[0].size,
-            meta=dict(meta) if meta else {},
+            meta=dict(meta),
         )
     batch = TupleBatch(items=items)
     full_meta = {"inner": inner}
@@ -455,15 +458,11 @@ class ReshufflerTask(Task):
                 for group in cached:
                     group.append(tagged)
                 return
-            # One immutable DATA message shared by every destination of the
+            # One immutable DATA envelope shared by every destination of the
             # fan-out: receivers never mutate messages, so replicating the
             # envelope object per destination buys nothing.
-            message = Message(
-                kind=MessageKind.DATA,
-                sender=self.name,
-                payload=tagged,
-                epoch=self.epoch,
-                size=item.size,
+            message = DataEnvelope(
+                MessageKind.DATA, self.name, tagged, self.epoch, item.size
             )
             ctx.send_fanout(cached, message, category=TrafficCategory.ROUTING)
             return
@@ -478,12 +477,8 @@ class ReshufflerTask(Task):
             for machine_id in destinations:
                 routes.setdefault((machine_id, self.epoch), []).append(tagged)
             return
-        message = Message(
-            kind=MessageKind.DATA,
-            sender=self.name,
-            payload=tagged,
-            epoch=self.epoch,
-            size=item.size,
+        message = DataEnvelope(
+            MessageKind.DATA, self.name, tagged, self.epoch, item.size
         )
         joiner_names = self.topology.joiner_names
         ctx.send_fanout(
@@ -538,13 +533,7 @@ class HashReshufflerTask(ReshufflerTask):
             return
         ctx.send(
             self.topology.joiner(machine_id),
-            Message(
-                kind=MessageKind.DATA,
-                sender=self.name,
-                payload=tagged,
-                epoch=self.epoch,
-                size=item.size,
-            ),
+            DataEnvelope(MessageKind.DATA, self.name, tagged, self.epoch, item.size),
             category=TrafficCategory.ROUTING,
         )
 
@@ -612,33 +601,45 @@ class JoinerTask(Task):
 
     # ---------------------------------------------------- adaptive data plane
 
-    def drain_key(self, message: Message):
-        """Pure probe-and-store DATA runs are drainable; everything else is not.
+    #: Drain key of µ (MIGRATION) runs; distinct from every DATA epoch key.
+    _MU_DRAIN_KEY = "mu"
 
-        Two data paths of the epoch protocol send nothing, relocate nothing
-        and charge the same costs whether handled alone or as a member of a
+    def drain_key(self, message: Message):
+        """Pure probe-and-store runs are drainable; everything else is not.
+
+        Three paths of the epoch protocol send nothing, relocate nothing and
+        charge the same costs whether handled alone or as a member of a
         coalesced run — so draining them cannot perturb the virtual clock or
         the cross-machine message interleaving:
 
-        * NORMAL-phase tuples of the current epoch (HandleTuple1's degenerate
-          path), and
-        * Δ' tuples — pending-epoch data during a migration (Alg. 3 lines
+        * NORMAL-phase DATA tuples of the current epoch (HandleTuple1's
+          degenerate path),
+        * Δ' tuples — pending-epoch DATA during a migration (Alg. 3 lines
           12-14/24-26), which probe the µ ∪ Δ' and Keep(τ ∪ Δ) partitions and
-          store locally.
+          store locally, and
+        * µ tuples — MIGRATION relocations received from other joiners,
+          which probe Δ' and store into the µ partition (or, before the
+          first signal, are buffered) — in every phase a charge-and-store
+          with no sends, so they drain per-member through the base
+          :meth:`Task.handle_drained` loop.
 
         Old-epoch Δ tuples mid-migration relocate state (``migrate_to``) and
-        must stay per-tuple, as must every non-DATA kind.  The epoch is part
-        of the key, so a run is force-flushed at the epoch edge.
+        must stay per-tuple, as must every other kind.  The epoch is part of
+        the DATA key, so a run is force-flushed at the epoch edge; µ runs use
+        a dedicated key and therefore never mix with DATA runs.
         """
-        if message.kind is not MessageKind.DATA:
-            return None
-        state = self.state
-        epoch = message.payload.epoch
-        if state.phase is JoinerPhase.NORMAL:
-            if epoch == state.current_epoch:
+        kind = message.kind
+        if kind is MessageKind.DATA:
+            state = self.state
+            epoch = message.payload.epoch
+            if state.phase is JoinerPhase.NORMAL:
+                if epoch == state.current_epoch:
+                    return epoch
+            elif epoch == state.pending_epoch:
                 return epoch
-        elif epoch == state.pending_epoch:
-            return epoch
+            return None
+        if kind is MessageKind.MIGRATION:
+            return self._MU_DRAIN_KEY
         return None
 
     def handle_drained(self, first: Message, inbox, limit: int, key, ctx: Context) -> int:
@@ -654,6 +655,11 @@ class JoinerTask(Task):
         bit-identical to per-tuple delivery.  Probe work is integer-valued,
         so the single deferred metrics record is exact.
         """
+        if key is self._MU_DRAIN_KEY:
+            # µ runs: per-member handling through the base-class loop —
+            # bit-identical to per-tuple delivery (handle + boundary per
+            # member), saving only simulator events.
+            return Task.handle_drained(self, first, inbox, limit, key, ctx)
         items = [first.payload]
         data_kind = MessageKind.DATA
         while len(items) < limit and inbox:

@@ -20,9 +20,9 @@ from repro.engine.batching import (
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import LatencySample, MetricsCollector
 from repro.engine.network import Network, TrafficCategory
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import DeliveryRun, Simulator
 from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams
-from repro.engine.task import Context, Message, MessageKind, Task
+from repro.engine.task import Context, DataEnvelope, Message, MessageKind, Task
 
 __all__ = [
     "AdaptiveBatchController",
@@ -30,6 +30,8 @@ __all__ = [
     "BatchController",
     "Context",
     "CostModel",
+    "DataEnvelope",
+    "DeliveryRun",
     "FixedBatchController",
     "LatencySample",
     "Machine",

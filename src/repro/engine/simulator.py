@@ -28,19 +28,29 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+from bisect import bisect_left, bisect_right
 from collections import deque
+from itertools import islice, repeat
 from typing import Iterable
 
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import MetricsCollector
 from repro.engine.network import Network, TrafficCategory
 from repro.engine.stream import ArrivalSchedule, StreamTuple, TupleBatch
-from repro.engine.task import Context, Message, MessageKind, Task
+from repro.engine.task import Context, DataEnvelope, Message, MessageKind, Task
 
 #: Control-plane message kinds that are not queued behind the data backlog.
 PRIORITY_KINDS = frozenset(
     {MessageKind.MAPPING_CHANGE, MessageKind.MIGRATION_ACK, MessageKind.RESUME}
 )
+
+#: Kinds the wire-level delivery-merging layer may coalesce into a
+#: :class:`DeliveryRun`: every inbox-bound kind, i.e. everything except the
+#: priority control plane (which executes at delivery rather than queueing).
+#: Merging is exact — a run's members settle into the receiving inbox in
+#: per-tuple ``(time, rank)`` order — so eligibility is purely about *where*
+#: a delivery lands, not what it carries.
+MERGEABLE_KINDS = frozenset(MessageKind) - PRIORITY_KINDS
 
 # Pending events are plain ``(time, rank, target, message)`` tuples so the
 # heap compares at C speed.  A delivery carries the destination Task and its
@@ -58,6 +68,39 @@ _SEND_RANK_BASE = 1 << 59
 _TICK_RANK_BASE = 1 << 62
 _LINK_SPAN = 1 << 34
 _MACHINE_SPAN = 1 << 12  # > max machines + off-cluster sentinel
+
+#: Heap marker distinguishing a DeliveryRun event from a plain delivery
+#: (``message`` slot) — identity-checked once per pop, like the tick's None.
+_DELIVERY_RUN = object()
+
+
+class DeliveryRun:
+    """A merged sequence of same-channel inbox deliveries — one heap event.
+
+    One run carries the open traffic of one wire channel: a (sender machine,
+    destination task) FIFO link.  It enters the global event heap once, keyed
+    by its *first* member's ``(delivery time, rank)``, and stays open — later
+    sends on the same channel (from subsequent handler invocations of the
+    sending machine) append to the parallel ``times``/``ranks``/``messages``
+    arrays, never creating another heap event.  Appends are always dated
+    beyond every settle bound the receiver has already passed (a send created
+    at virtual time ``T`` delivers no earlier than ``T`` plus the network
+    latency, and the link itself is FIFO), so the run's members still settle
+    into the receiving inbox in exact per-tuple ``(time, rank)`` order (see
+    ``Simulator._settle``).  ``start`` is the cursor of the next unsettled
+    member; when the receiver exhausts the run it is ``closed`` and the next
+    send on the channel arms a fresh one.
+    """
+
+    __slots__ = ("task", "times", "ranks", "messages", "start", "closed")
+
+    def __init__(self, task: Task, times: list, ranks: list, messages: list) -> None:
+        self.task = task
+        self.times = times
+        self.ranks = ranks
+        self.messages = messages
+        self.start = 0
+        self.closed = False
 
 
 class Simulator:
@@ -102,8 +145,18 @@ class Simulator:
         # drained runs on the adaptive plane use them to stop before the
         # point where a control message would take effect (drain horizon).
         self._pending_priority: list[list[float]] = [[] for _ in range(num_machines)]
+        # Wire-level delivery merging (see enable_delivery_merging): the open
+        # channel runs, indexed [sender machine + 1] → {destination task:
+        # DeliveryRun}, and the per-machine heaps of delivered-but-unsettled
+        # run cursors / singles.
+        self._merge_wire = False
+        self._open_channels: list[dict[Task, DeliveryRun]] = [
+            {} for _ in range(num_machines + 1)
+        ]
+        self._pending_wire: list[list] = [[] for _ in range(num_machines)]
         self.now = 0.0
         self.events_processed = 0
+        self.heap_events = 0
 
     def install_batching(self, controllers: list) -> None:
         """Enable the adaptive data plane: one drain controller per machine.
@@ -119,6 +172,23 @@ class Simulator:
                 f"for {len(self.machines)} machines"
             )
         self._drain_controllers = list(controllers)
+
+    def enable_delivery_merging(self) -> None:
+        """Enable wire-level delivery merging.
+
+        Inbox-bound messages (:data:`MERGEABLE_KINDS`) merge per FIFO channel
+        — (sender machine, destination task) — into :class:`DeliveryRun` heap
+        events: a channel's run is armed in the heap at its first member and
+        absorbs every later send on the channel until the receiver exhausts
+        it, instead of one heap event per message.  A run's members are
+        *settled* into the receiving machine's inbox strictly in per-tuple
+        ``(delivery time, rank)`` order — the per-machine pending heap
+        interleaves runs, competing links and individual messages exactly as
+        the unmerged heap would — so every observable quantity stays
+        bit-identical to the unmerged wire while the global event heap
+        processes a fraction of the events.
+        """
+        self._merge_wire = True
 
     # ------------------------------------------------------------------ setup
 
@@ -198,23 +268,82 @@ class Simulator:
                     size=batch.size,
                     meta={"inner": MessageKind.SOURCE},
                 )
-                self.schedule(emit_time, destination, message)
+                self.schedule_data(emit_time, destination, message)
             return
         tasks = self.tasks
         queue = self._queue
         schedule_rank = self._schedule_rank
+        source_kind = MessageKind.SOURCE
+        if self._merge_wire:
+            # Merged feed: one DeliveryRun per reshuffler covers the whole
+            # schedule (members keep their exact arrival times/ranks).  The
+            # feed channels cannot have open runs mid-schedule interference
+            # (nothing settles before run()), so the runs are built with
+            # plain list appends and armed once per destination.
+            feed_channels = self._open_channels[0]
+            channel_get = feed_channels.get
+            heappush = heapq.heappush
+            queue = self._queue
+            for arrival_time, item in schedule.arrivals():
+                item.arrival_time = arrival_time
+                task = tasks[destination_picker(item)]
+                rank = next(schedule_rank)
+                envelope = DataEnvelope(source_kind, "__source__", item, 0, item.size)
+                run = channel_get(task)
+                if run is None or run.closed:
+                    run = feed_channels[task] = DeliveryRun(
+                        task, [arrival_time], [rank], [envelope]
+                    )
+                    heappush(queue, (arrival_time, rank, run, _DELIVERY_RUN))
+                else:
+                    run.times.append(arrival_time)
+                    run.ranks.append(rank)
+                    run.messages.append(envelope)
+            return
         for arrival_time, item in schedule.arrivals():
             item.arrival_time = arrival_time
-            message = Message(
-                kind=MessageKind.SOURCE,
-                sender="__source__",
-                payload=item,
-                size=item.size,
-            )
+            message = DataEnvelope(source_kind, "__source__", item, 0, item.size)
             heapq.heappush(
                 queue,
                 (arrival_time, next(schedule_rank), tasks[destination_picker(item)], message),
             )
+
+    def schedule_data(self, time: float, destination: str, message) -> None:
+        """Schedule a data-plane message, merging consecutive same-destination
+        sends into the feed channel's :class:`DeliveryRun` when delivery
+        merging is enabled (streaming ingestion, batched feeds).
+
+        Non-mergeable kinds and off-cluster destinations fall back to
+        :meth:`schedule`.
+        """
+        task = self.tasks.get(destination)
+        if task is None:
+            raise KeyError(f"unknown task: {destination}")
+        if (
+            not self._merge_wire
+            or task.hosted_machine is None
+            or message.kind not in MERGEABLE_KINDS
+        ):
+            self.schedule(time, destination, message)
+            return
+        self._buffer_send(
+            self._open_channels[0], task, time, next(self._schedule_rank), message
+        )
+
+    def _buffer_send(
+        self, channels: dict, task: Task, time: float, rank: int, message
+    ) -> None:
+        """Append one send to its channel's open run, arming a fresh run
+        (= one heap event, keyed by this first member) when the channel has
+        none open."""
+        run = channels.get(task)
+        if run is None or run.closed:
+            run = channels[task] = DeliveryRun(task, [time], [rank], [message])
+            heapq.heappush(self._queue, (time, rank, run, _DELIVERY_RUN))
+        else:
+            run.times.append(time)
+            run.ranks.append(rank)
+            run.messages.append(message)
 
     def post(
         self,
@@ -238,10 +367,25 @@ class Simulator:
             )
         if message.kind in PRIORITY_KINDS and dest_machine >= 0:
             self._pending_priority[dest_machine].append(delivery)
-        heapq.heappush(
-            self._queue,
-            (delivery, self._send_rank(sender_machine, dest_machine), dest_task, message),
-        )
+        rank = self._send_rank(sender_machine, dest_machine)
+        # Off-cluster endpoints are excluded from merging (as in post_fanout):
+        # their deliveries skip the link-FIFO clamp, so an open channel's key
+        # arrays could lose the sortedness _settle's bisects rely on.
+        if (
+            self._merge_wire
+            and sender_machine >= 0
+            and dest_machine >= 0
+            and message.kind in MERGEABLE_KINDS
+        ):
+            self._buffer_send(
+                self._open_channels[sender_machine + 1],
+                dest_task,
+                delivery,
+                rank,
+                message,
+            )
+            return
+        heapq.heappush(self._queue, (delivery, rank, dest_task, message))
 
     def post_fanout(
         self,
@@ -268,6 +412,40 @@ class Simulator:
         latency = self.cost_model.network_latency
         sender_base = _SEND_RANK_BASE + (sender_machine + 2) * _MACHINE_SPAN * _LINK_SPAN
         heappush = heapq.heappush
+        if self._merge_wire:
+            # One shared envelope, one open-channel append per destination;
+            # the per-link delivery times and ranks are computed exactly as
+            # below.  The channel-append bookkeeping is inlined (this is the
+            # hottest send path of the merged wire).
+            channels = self._open_channels[sender_machine + 1]
+            channel_get = channels.get
+            for destination in destinations:
+                dest_task = tasks[destination]
+                dest_machine = dest_task.machine_id
+                if sender_machine < 0 or dest_machine < 0:
+                    heappush(queue, (
+                        departure + latency,
+                        self._send_rank(sender_machine, dest_machine),
+                        dest_task,
+                        message,
+                    ))
+                    continue
+                delivery = transfer(sender_machine, dest_machine, size, category, departure)
+                link = (sender_machine, dest_machine)
+                sequence = link_rank.get(link, 0)
+                link_rank[link] = sequence + 1
+                rank = sender_base + (dest_machine + 2) * _LINK_SPAN + sequence
+                run = channel_get(dest_task)
+                if run is None or run.closed:
+                    run = channels[dest_task] = DeliveryRun(
+                        dest_task, [delivery], [rank], [message]
+                    )
+                    heappush(queue, (delivery, rank, run, _DELIVERY_RUN))
+                else:
+                    run.times.append(delivery)
+                    run.ranks.append(rank)
+                    run.messages.append(message)
+            return
         for destination in destinations:
             dest_task = tasks[destination]
             dest_machine = dest_task.machine_id
@@ -351,7 +529,7 @@ class Simulator:
         self.metrics.record_drained_run(count)
         self.events_processed += 1
 
-    def _deliver(self, task: Task, message: Message, time: float) -> None:
+    def _deliver(self, task: Task, message: Message, time: float, rank: int = 0) -> None:
         machine = task.hosted_machine
         if machine is None:
             # Off-cluster tasks are handled at delivery time.
@@ -365,15 +543,125 @@ class Simulator:
             self._pending_priority[machine.machine_id].remove(time)
             self._execute(task, message, machine.priority_start(time))
             return
-        inbox = self._inboxes[machine.machine_id]
+        machine_id = machine.machine_id
+        if self._merge_wire:
+            pending = self._pending_wire[machine_id]
+            if pending:
+                # Unsettled run members exist for this machine; enqueue the
+                # single behind/between them by its own (time, rank) key so
+                # the settle pass reproduces the per-tuple inbox order.
+                heapq.heappush(pending, (time, rank, None, task, message))
+                if not self._tick_scheduled[machine_id]:
+                    self._tick_scheduled[machine_id] = True
+                    self._schedule_tick(machine_id, max(time, machine.busy_until))
+                return
+        inbox = self._inboxes[machine_id]
         inbox.append((task, message))
-        if not self._tick_scheduled[machine.machine_id]:
-            self._tick_scheduled[machine.machine_id] = True
-            self._schedule_tick(machine.machine_id, max(time, machine.busy_until))
+        if not self._tick_scheduled[machine_id]:
+            self._tick_scheduled[machine_id] = True
+            self._schedule_tick(machine_id, max(time, machine.busy_until))
+
+    def _deliver_run(self, run: DeliveryRun, time: float) -> None:
+        """A :class:`DeliveryRun` popped: park it on the receiver's pending heap.
+
+        Members do not enter the inbox yet — they *settle* in exact
+        ``(time, rank)`` order when the machine next ticks — so the run pop is
+        O(1) regardless of length.  Tick scheduling mirrors what the first
+        member's individual delivery would have done.
+        """
+        machine = run.task.hosted_machine
+        machine_id = machine.machine_id
+        heapq.heappush(
+            self._pending_wire[machine_id], (time, run.ranks[run.start], run)
+        )
+        if not self._tick_scheduled[machine_id]:
+            self._tick_scheduled[machine_id] = True
+            self._schedule_tick(machine_id, max(time, machine.busy_until))
+
+    def _settle(self, machine_id: int, time: float) -> None:
+        """Move pending wire deliveries dated ``<= time`` into the inbox.
+
+        Called at the start of a tick popped at ``time``: on the per-tuple
+        wire, exactly the deliveries with ``(delivery, rank) < (time,
+        tick rank)`` would have been appended before this tick — and message
+        ranks are always below the tick band, so the bound reduces to the
+        delivery time.  Members are drained in global ``(time, rank)`` order
+        across runs, competing links and singles (the pending heap is the
+        per-machine merge front), reproducing the unmerged inbox exactly.
+        """
+        pending = self._pending_wire[machine_id]
+        inbox = self._inboxes[machine_id]
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        extend = inbox.extend
+        wire_histogram = self.metrics.wire_histogram
+        while pending and pending[0][0] <= time:
+            entry = heappop(pending)
+            run = entry[2]
+            if run is None:
+                inbox.append((entry[3], entry[4]))
+                continue
+            times = run.times
+            task = run.task
+            index = run.start
+            count = len(times)
+            # Settle-bound cut: members dated <= the tick time.  Within a run
+            # both times and ranks are strictly increasing, so the segment
+            # boundaries are binary searches instead of per-member compares.
+            end = bisect_right(times, time, index, count)
+            if pending:
+                # A competing pending delivery may cut the segment short: only
+                # members strictly below the head's (time, rank) key settle now.
+                head = pending[0]
+                head_time = head[0]
+                if head_time <= time:
+                    below = bisect_left(times, head_time, index, end)
+                    ties_end = bisect_right(times, head_time, below, end)
+                    end = (
+                        bisect_left(run.ranks, head[1], below, ties_end)
+                        if ties_end > below
+                        else below
+                    )
+            # The popped entry was the pending minimum and is inside the
+            # bound, so at least one member always settles (progress).
+            if end - index == 1:
+                inbox.append((task, run.messages[index]))
+            else:
+                extend(zip(repeat(task), islice(run.messages, index, end)))
+            if end < count:
+                run.start = end
+                heappush(pending, (times[end], run.ranks[end], run))
+            else:
+                # Exhausted: close the channel's run (the next send on the
+                # channel arms a fresh one) and record its final length.
+                run.start = end
+                run.closed = True
+                wire_histogram[count] = wire_histogram.get(count, 0) + 1
+
+    def _rearm_wire(self, machine_id: int) -> None:
+        """Return the earliest pending wire delivery to the global heap.
+
+        Reached when a tick leaves the inbox empty while future-dated members
+        remain pending: their runs already left the heap, so nothing else
+        would wake the machine.  The re-armed entry pops at its own key and
+        re-enters the normal delivery path (scheduling the wake-up tick at
+        ``max(time, busy_until)`` exactly as its individual delivery would).
+        """
+        entry = heapq.heappop(self._pending_wire[machine_id])
+        run = entry[2]
+        if run is None:
+            heapq.heappush(self._queue, (entry[0], entry[1], entry[3], entry[4]))
+        else:
+            heapq.heappush(self._queue, (entry[0], entry[1], run, _DELIVERY_RUN))
 
     def _tick(self, machine_id: int, time: float) -> None:
+        merging = self._merge_wire
+        if merging and self._pending_wire[machine_id]:
+            self._settle(machine_id, time)
         inbox = self._inboxes[machine_id]
         if not inbox:
+            if merging and self._pending_wire[machine_id]:
+                self._rearm_wire(machine_id)
             self._tick_scheduled[machine_id] = False
             return
         machine = self.machines[machine_id]
@@ -398,6 +686,8 @@ class Simulator:
         if inbox:
             self._schedule_tick(machine_id, max(machine.busy_until, start))
         else:
+            if merging and self._pending_wire[machine_id]:
+                self._rearm_wire(machine_id)
             self._tick_scheduled[machine_id] = False
 
     def run(self, max_events: int | None = None) -> float:
@@ -407,18 +697,27 @@ class Simulator:
         busiest machine's final ``busy_until``.
         """
         queue = self._queue
-        while queue:
-            time, _sequence, target, message = heapq.heappop(queue)
-            if time > self.now:
-                self.now = time
-            if message is None:
-                self._tick(target, time)
-            else:
-                self._deliver(target, message, time)
-            if max_events is not None and self.events_processed > max_events:
-                raise RuntimeError(
-                    f"simulation exceeded {max_events} events; possible signalling loop"
-                )
+        heap_events = self.heap_events
+        try:
+            while queue:
+                time, rank, target, message = heapq.heappop(queue)
+                heap_events += 1
+                if time > self.now:
+                    self.now = time
+                if message is None:
+                    self._tick(target, time)
+                elif message is _DELIVERY_RUN:
+                    self._deliver_run(target, time)
+                else:
+                    self._deliver(target, message, time, rank)
+                if max_events is not None and self.events_processed > max_events:
+                    raise RuntimeError(
+                        f"simulation exceeded {max_events} events; possible signalling loop"
+                    )
+        finally:
+            # Written back even when a handler raises, so the counter stays
+            # consistent with events_processed on error paths.
+            self.heap_events = heap_events
         finish = self.now
         for machine in self.machines:
             finish = max(finish, machine.busy_until)

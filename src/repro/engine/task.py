@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from types import MappingProxyType
 from typing import TYPE_CHECKING, Any
 
 from repro.engine.network import TrafficCategory
@@ -69,6 +70,42 @@ class Message:
     epoch: int = 0
     size: float = 0.0
     meta: dict[str, Any] = field(default_factory=dict)
+
+
+#: Shared immutable empty meta of every :class:`DataEnvelope` — data-plane
+#: handlers never read per-message meta, so one read-only mapping serves all.
+_EMPTY_META: Any = MappingProxyType({})
+
+
+class DataEnvelope:
+    """Slim envelope for hot-path data messages (DATA / SOURCE wire traffic).
+
+    Duck-type compatible with :class:`Message` for everything the data plane
+    reads (``kind``, ``sender``, ``payload``, ``epoch``, ``size``, and a
+    read-only empty ``meta``), but without the dataclass machinery and —
+    crucially — without allocating a fresh ``meta`` dict per tuple: on the
+    per-tuple wire every input tuple becomes at least one envelope, so the
+    saved allocation is paid once per tuple per hop.  Control-plane and batch
+    messages (which do carry meta) keep using :class:`Message`.
+    """
+
+    __slots__ = ("kind", "sender", "payload", "epoch", "size")
+
+    meta = _EMPTY_META
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        sender: str,
+        payload: Any,
+        epoch: int = 0,
+        size: float = 0.0,
+    ) -> None:
+        self.kind = kind
+        self.sender = sender
+        self.payload = payload
+        self.epoch = epoch
+        self.size = size
 
 
 class Context:

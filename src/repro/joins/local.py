@@ -22,7 +22,10 @@ Probe engines are pluggable through the
 * ``"vectorized"`` (default) — batch index passes, and the exact-key fast
   path: candidates from an exact-key hash bucket already satisfy the primary
   equality (the bucket key *is* the predicate), so only composite residuals
-  are re-validated per pair.
+  are re-validated per pair.  Band predicates advertising ``range_complete``
+  (integer-keyed / tolerance-safe bands — see
+  :class:`~repro.joins.predicates.BandPredicate`) get the range analogue:
+  ordered-window candidates skip the per-pair band re-validation.
 * ``"scalar"`` — the per-member reference path that re-validates the full
   predicate on every candidate.  It defines the semantics ``probe_batch``
   must reproduce and serves as the differential-testing oracle and the
@@ -67,8 +70,10 @@ class ProbeEngine:
         batch_aware: whether joiner tasks should route NORMAL-phase DATA
             batches through :meth:`EpochJoinerState.handle_data_batch` →
             :meth:`LocalJoiner.probe_batch` (False keeps per-member dispatch).
-        exact_key_fast_path: whether exact-key hash candidates may skip
-            per-pair re-validation of the primary predicate.
+        exact_key_fast_path: whether candidates the index already decides —
+            exact-key hash buckets, and range windows of band predicates
+            advertising ``range_complete`` — may skip per-pair re-validation
+            of the primary predicate.
         probe_batch: callable ``(joiner, items) -> [(matches, work), ...]``
             implementing the batch insert+probe pass; must reproduce the
             scalar reference semantics exactly (same matches, same charged
@@ -109,6 +114,10 @@ class LocalJoiner:
             left_relation: self._build_index(side="left"),
             right_relation: self._build_index(side="right"),
         }
+        # The index objects are stable for the joiner's lifetime; direct
+        # references serve the keyed probe fast paths.
+        self._left_index = self._indexes[left_relation]
+        self._right_index = self._indexes[right_relation]
         kind = predicate.kind
         # Pre-resolved probe plumbing (avoids per-probe getattr chains).
         self._pred_left_key = predicate.left_key if kind in ("equi", "band") else None
@@ -117,11 +126,26 @@ class LocalJoiner:
         self._exact_key = (
             self._engine_spec.exact_key_fast_path and kind == "equi" and predicate.exact_key
         )
+        # Band analogue of the exact-key fast path: the predicate asserts the
+        # range window exactly decides the primary condition (integer-keyed /
+        # tolerance-safe bands), so range candidates skip re-validation.  The
+        # scalar engine ignores the fast path — it stays the full-validation
+        # differential oracle.
+        self._range_complete = (
+            self._engine_spec.exact_key_fast_path
+            and kind == "band"
+            and predicate.range_complete
+        )
         # Per-candidate validation, resolved once: None means exact-key hash
-        # candidates need no validation at all (the bucket is the match set);
-        # exact-key predicates with residuals validate only the residual part;
-        # everything else (and the scalar engine) runs the full predicate.
-        self._check = predicate.residual_check() if self._exact_key else predicate.matches
+        # (or range-complete window) candidates need no validation at all;
+        # fast-path predicates with residuals validate only the residual
+        # part; everything else (and the scalar engine) runs the full
+        # predicate.
+        self._check = (
+            predicate.residual_check()
+            if self._exact_key or self._range_complete
+            else predicate.matches
+        )
 
     # ------------------------------------------------------------ index setup
 
@@ -275,33 +299,71 @@ class LocalJoiner:
             matches.append(candidate)
         return matches, inspected
 
+    # ------------------------------------------------------------ keyed probes
+    #
+    # The epoch protocol probes several tag-partitioned sub-stores per logical
+    # probe; all partitions share one predicate, so the per-tuple inputs
+    # (side, extracted key) are resolved once via probe_plan and reused by the
+    # keyed variants below — identical results/work to raw_probe and
+    # candidate_count, minus the repeated dispatch and key extraction.
+
+    def probe_plan(self, item: StreamTuple) -> tuple[bool, object]:
+        """Resolve one tuple's probe inputs: ``(is_left, key)``.
+
+        ``key`` is None for scan-served (theta) predicates.  Valid for any
+        joiner sharing this joiner's predicate and relation names (the epoch
+        sub-stores), whose keyed probes can then skip re-extraction.
+        """
+        item_is_left = item.relation == self.left_relation
+        left_key = self._pred_left_key
+        if left_key is None:
+            return item_is_left, None
+        if item_is_left:
+            return item_is_left, left_key(item.record)
+        return item_is_left, self._pred_right_key(item.record)
+
+    def keyed_raw_probe(
+        self, item_is_left: bool, key, record
+    ) -> tuple[list[StreamTuple], int]:
+        """:meth:`raw_probe` with the inputs of :meth:`probe_plan` pre-resolved."""
+        opposite_index = self._right_index if item_is_left else self._left_index
+        kind = self.predicate.kind
+        if kind == "equi":
+            candidates, inspected = opposite_index.probe(key)
+        elif kind == "band":
+            width = self._band_width
+            candidates, inspected = opposite_index.probe_range(key - width, key + width)
+        else:
+            candidates, inspected = opposite_index.probe(None)
+        if not candidates:
+            return [], inspected
+        check = self._check
+        if check is None:
+            return list(candidates), inspected
+        if item_is_left:
+            return [c for c in candidates if check(record, c.record)], inspected
+        return [c for c in candidates if check(c.record, record)], inspected
+
+    def keyed_candidate_count(self, item_is_left: bool, key) -> int:
+        """:meth:`candidate_count` with the probe inputs pre-resolved."""
+        opposite_index = self._right_index if item_is_left else self._left_index
+        kind = self.predicate.kind
+        if kind == "equi":
+            return opposite_index.count_key(key)
+        if kind == "band":
+            width = self._band_width
+            return opposite_index.count_range(key - width, key + width)
+        return len(opposite_index)
+
     def candidate_count(self, item: StreamTuple) -> int:
         """Candidates a probe of ``item`` would inspect, without materialising.
 
         O(1) for hash/scan stores, O(log n) for ordered stores; used for
-        exact work accounting over unprobed epoch partitions.
+        exact work accounting over unprobed epoch partitions.  Delegates to
+        the keyed variant so the kind dispatch lives in one place.
         """
-        item_is_left = item.relation == self.left_relation
-        opposite_index = self._indexes[
-            self.right_relation if item_is_left else self.left_relation
-        ]
-        kind = self.predicate.kind
-        if kind == "equi":
-            key = (
-                self._pred_left_key(item.record)
-                if item_is_left
-                else self._pred_right_key(item.record)
-            )
-            return opposite_index.count_key(key)
-        if kind == "band":
-            key = (
-                self._pred_left_key(item.record)
-                if item_is_left
-                else self._pred_right_key(item.record)
-            )
-            width = self._band_width
-            return opposite_index.count_range(key - width, key + width)
-        return len(opposite_index)
+        item_is_left, key = self.probe_plan(item)
+        return self.keyed_candidate_count(item_is_left, key)
 
     def _candidates(
         self, opposite_index: JoinIndex, item: StreamTuple, item_is_left: bool
@@ -422,7 +484,10 @@ class LocalJoiner:
                 key = right_key(record)
                 candidates, inspected = left_index.probe_range(key - width, key + width)
             if candidates:
-                if is_left:
+                if check is None:
+                    # Range-complete fast path: the window is the match set.
+                    matches = list(candidates)
+                elif is_left:
                     matches = [c for c in candidates if check(record, c.record)]
                 else:
                     matches = [c for c in candidates if check(c.record, record)]

@@ -34,6 +34,14 @@ class JoinPredicate:
     #: one of "equi", "band", "theta"
     kind: str = "theta"
 
+    #: Whether an ordered-index range probe ``[key - width, key + width]``
+    #: fully decides the primary condition, so range candidates need no
+    #: per-pair re-validation (the range analogue of :attr:`exact_key`).
+    #: False by default: float band edges are not exactly decidable from
+    #: bisect bounds.  Integer-keyed / tolerance-safe band predicates opt in
+    #: (see :class:`BandPredicate`).
+    range_complete: bool = False
+
     @property
     def exact_key(self) -> bool:
         """Whether an exact-key hash probe fully decides the primary condition.
@@ -120,12 +128,34 @@ class EquiPredicate(JoinPredicate):
 
 @dataclass
 class BandPredicate(JoinPredicate):
-    """Band predicate ``|left[left_attr] - right[right_attr]| <= width``."""
+    """Band predicate ``|left[left_attr] - right[right_attr]| <= width``.
+
+    ``range_complete=True`` advertises that the ordered-index window
+    ``[key - width, key + width]`` *exactly* decides the condition, letting
+    the vectorized probe engine skip per-candidate re-validation (the band
+    analogue of the equi exact-key fast path).  That holds when window
+    membership and ``|l - r| <= width`` can never disagree under float
+    arithmetic — e.g. integer keys with an integer width (exact in floats up
+    to 2**53), or keys quantised coarsely enough that width-edge rounding
+    cannot flip a comparison.  It is an *assertion by the caller* about the
+    data; with arbitrary float keys leave it False (the default), where every
+    candidate is re-validated.
+    """
 
     left_attr: str
     right_attr: str
     width: float = 1.0
+    range_complete: bool = False
     kind: str = field(default="band", init=False)
+
+    @property
+    def has_residual(self) -> bool:
+        return not self.range_complete
+
+    def residual_matches(self, left: Record, right: Record) -> bool:
+        if self.range_complete:
+            return True
+        return self.matches(left, right)
 
     def matches(self, left: Record, right: Record) -> bool:
         return abs(left[self.left_attr] - right[self.right_attr]) <= self.width
@@ -186,6 +216,7 @@ class CompositePredicate(JoinPredicate):
 
     def __post_init__(self) -> None:
         self.kind = self.primary.kind
+        self.range_complete = self.primary.range_complete
 
     @property
     def exact_key(self) -> bool:

@@ -8,8 +8,10 @@ Pins the contracts of ``repro.api``:
 * Override precedence is ``session default < config < call-site``.
 * Registries reject duplicate registrations and list choices on unknown
   names; registered third-party components flow through the session.
-* The legacy loose-kwargs constructors emit ``DeprecationWarning`` but
-  produce **bit-identical** results to the config path (the migration test).
+* The legacy loose-kwargs constructor shim is gone: constructing an operator
+  from loose keyword arguments without a config raises ``TypeError`` pointing
+  at ``RunConfig``; ``make_operator`` routes through the validated config
+  path and stays bit-identical to the session path.
 * The streaming ``push()`` ingestion yields identical final join results to
   the materialised path on EQ5 at ``batch_size ∈ {1, 64}``.
 """
@@ -223,19 +225,14 @@ class TestEagerValidation:
     def test_invalid_probe_engine_fails_at_construction(self, eq5_query):
         with pytest.raises(ValueError, match="probe engine.*simd|simd.*probe engine"):
             GridJoinOperator(eq5_query, config=RunConfig(machines=8, probe_engine="simd"))
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="vectorized"):
-                GridJoinOperator(eq5_query, 8, probe_engine="simd")
 
     def test_invalid_layout_fails_at_construction(self, eq5_query):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="dyadic"):
-                GridJoinOperator(eq5_query, 8, layout="diagonal")
+        with pytest.raises(ValueError, match="dyadic"):
+            GridJoinOperator(eq5_query, config=RunConfig(machines=8), layout="diagonal")
 
     def test_unknown_knob_fails_at_construction(self, eq5_query):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError, match="unknown RunConfig field"):
-                GridJoinOperator(eq5_query, 8, warmup_tuple=3)
+        with pytest.raises(ValueError, match="unknown RunConfig field"):
+            GridJoinOperator(eq5_query, config=RunConfig(machines=8), warmup_tuple=3)
 
     def test_non_power_of_two_machines_rejected(self, eq5_query):
         with pytest.raises(ValueError, match="power-of-two"):
@@ -273,10 +270,10 @@ class TestOverridePrecedence:
 
 
 # ---------------------------------------------------------------------------
-# Migration shim: legacy kwargs warn but stay bit-identical
+# Legacy loose-kwargs constructor shim: removed after its deprecation release
 # ---------------------------------------------------------------------------
 
-class TestLegacyShim:
+class TestLegacyRemoval:
     def _compare(self, legacy, modern):
         assert legacy.outputs is not None and modern.outputs is not None
         assert sorted(legacy.outputs) == sorted(modern.outputs)
@@ -288,32 +285,37 @@ class TestLegacyShim:
         assert legacy.max_ilf == modern.max_ilf
         assert legacy.total_network_volume == modern.total_network_volume
 
-    def test_loose_kwargs_warn_and_match_config_path(self, eq5_query):
-        # Both runs are fed the *same* arrival order (same StreamTuple
-        # objects) so output tuple-id pairs are directly comparable.
-        order = _arrival_order(eq5_query, seed=5)
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy_op = AdaptiveJoinOperator(
-                eq5_query, 8, seed=5, warmup_tuples=16, batch_size=8
-            )
-        legacy = legacy_op.run(arrival_order=order, collect_outputs=True)
-        modern = build_operator(
-            "Dynamic",
-            eq5_query,
-            RunConfig(machines=8, seed=5, warmup_tuples=16, batch_size=8),
-        ).run(arrival_order=order, collect_outputs=True)
-        self._compare(legacy, modern)
+    def test_loose_kwargs_construction_raises(self, eq5_query):
+        with pytest.raises(TypeError, match="RunConfig"):
+            AdaptiveJoinOperator(eq5_query, 8, seed=5, warmup_tuples=16)
+        with pytest.raises(TypeError, match="RunConfig"):
+            GridJoinOperator(eq5_query, seed=5)
+        with pytest.raises(TypeError, match="RunConfig"):
+            GridJoinOperator(eq5_query, 8)
 
-    def test_make_operator_shim_matches_session(self, eq5_query):
+    def test_config_with_overrides_still_supported(self, eq5_query):
+        # Call-site overrides on top of an explicit config remain the
+        # documented API (call-site beats config) — only the config-less
+        # loose path was removed.
+        operator = AdaptiveJoinOperator(
+            eq5_query, config=RunConfig(machines=8, seed=1), seed=7, batch_size=4
+        )
+        assert operator.seed == 7
+        assert operator.batch_size == 4
+
+    def test_make_operator_routes_through_config_path(self, eq5_query):
+        # make_operator survives as a registry front door over RunConfig; it
+        # must stay bit-identical to the session path and validate eagerly.
         order = _arrival_order(eq5_query, seed=5)
-        with pytest.warns(DeprecationWarning):
-            legacy = make_operator("StaticMid", eq5_query, 8, seed=5).run(
-                arrival_order=order, collect_outputs=True
-            )
+        legacy = make_operator("StaticMid", eq5_query, 8, seed=5).run(
+            arrival_order=order, collect_outputs=True
+        )
         modern = JoinSession(eq5_query, machines=8, seed=5).run(
             operator="StaticMid", arrival_order=order, collect_outputs=True
         )
         self._compare(legacy, modern)
+        with pytest.raises(ValueError, match="unknown RunConfig field"):
+            make_operator("StaticMid", eq5_query, 8, warmup_tuple=3)
 
     def test_config_path_does_not_warn(self, eq5_query, recwarn):
         build_operator("StaticMid", eq5_query, RunConfig(machines=8, seed=5))

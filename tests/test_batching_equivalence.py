@@ -27,6 +27,7 @@ import random
 import pytest
 from repro.testing import assert_run_equivalent
 
+from repro.api import RunConfig
 from repro.core.baselines import StaticMidOperator
 from repro.core.operator import AdaptiveJoinOperator
 from repro.data.queries import make_query
@@ -45,7 +46,8 @@ def _arrival_order(query, seed):
 
 
 def _run(operator_class, query, order, batch_size, **kwargs):
-    operator = operator_class(query, 8, seed=5, batch_size=batch_size, **kwargs)
+    config = RunConfig(machines=8, seed=5, batch_size=batch_size, **kwargs)
+    operator = operator_class(query, config=config)
     return operator.run(arrival_order=order, collect_outputs=True)
 
 
@@ -125,4 +127,4 @@ class TestBatchedAccounting:
     def test_invalid_batch_size_rejected(self, small_dataset):
         query = make_query("EQ5", small_dataset)
         with pytest.raises(ValueError):
-            StaticMidOperator(query, 8, batch_size=0)
+            StaticMidOperator(query, config=RunConfig(machines=8, batch_size=0))

@@ -5,6 +5,7 @@ import random
 
 import pytest
 
+from repro.api import RunConfig
 from repro.core.baselines import StaticMidOperator, StaticOptOperator, SymmetricHashOperator
 from repro.core.decision import competitive_ratio_bound
 from repro.core.mapping import Mapping
@@ -22,29 +23,29 @@ def midsize_dataset():
 class TestAdaptation:
     def test_dynamic_converges_to_the_optimal_mapping(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        result = AdaptiveJoinOperator(query, 16, seed=2).run()
+        result = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2)).run()
         assert result.migrations >= 1
         assert result.final_mapping == theoretical_optimal_mapping(query, 16)
 
     def test_static_mid_keeps_square_mapping(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        result = StaticMidOperator(query, 16, seed=2).run()
+        result = StaticMidOperator(query, config=RunConfig(machines=16, seed=2)).run()
         assert result.final_mapping == Mapping(4, 4)
 
     def test_dynamic_ilf_close_to_static_opt_and_below_static_mid(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        dynamic = AdaptiveJoinOperator(query, 16, seed=2).run()
-        static_mid = StaticMidOperator(query, 16, seed=2).run()
-        static_opt = StaticOptOperator(query, 16, seed=2).run()
+        dynamic = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2)).run()
+        static_mid = StaticMidOperator(query, config=RunConfig(machines=16, seed=2)).run()
+        static_opt = StaticOptOperator(query, config=RunConfig(machines=16, seed=2)).run()
         assert dynamic.max_ilf < static_mid.max_ilf
         assert dynamic.max_ilf < 2.5 * static_opt.max_ilf
         assert dynamic.total_storage < static_mid.total_storage
 
     def test_dynamic_execution_time_between_opt_and_mid(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        dynamic = AdaptiveJoinOperator(query, 16, seed=2).run()
-        static_mid = StaticMidOperator(query, 16, seed=2).run()
-        static_opt = StaticOptOperator(query, 16, seed=2).run()
+        dynamic = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2)).run()
+        static_mid = StaticMidOperator(query, config=RunConfig(machines=16, seed=2)).run()
+        static_opt = StaticOptOperator(query, config=RunConfig(machines=16, seed=2)).run()
         assert static_opt.execution_time <= dynamic.execution_time <= static_mid.execution_time
         # the paper reports up to ~4x gap between Dynamic and StaticMid
         assert static_mid.execution_time / dynamic.execution_time > 1.2
@@ -53,13 +54,13 @@ class TestAdaptation:
         """Amortised adaptivity cost: state relocation traffic is a small
         fraction of the regular routing traffic (Lemma 4.5)."""
         query = make_query("EQ5", midsize_dataset)
-        result = AdaptiveJoinOperator(query, 16, seed=2).run()
+        result = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2)).run()
         assert result.migration_volume < result.routing_volume
 
     def test_locality_aware_migration_moves_less_than_naive(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        smart = AdaptiveJoinOperator(query, 16, seed=2, layout="dyadic").run()
-        naive = AdaptiveJoinOperator(query, 16, seed=2, layout="row_major").run()
+        smart = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2, layout="dyadic")).run()
+        naive = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2, layout="row_major")).run()
         if smart.migrations and naive.migrations:
             assert smart.migration_volume <= naive.migration_volume
 
@@ -71,7 +72,7 @@ class TestSkewResilience:
         def run(skew, operator_class):
             dataset = generate_dataset(scale=0.4, skew=skew, seed=5)
             query = make_query("EQ5", dataset)
-            return operator_class(query, 16, seed=5).run()
+            return operator_class(query, config=RunConfig(machines=16, seed=5)).run()
 
         shj_uniform = run("Z0", SymmetricHashOperator)
         shj_skewed = run("Z4", SymmetricHashOperator)
@@ -87,8 +88,8 @@ class TestSkewResilience:
         the trade-off the paper acknowledges in §5.1."""
         dataset = generate_dataset(scale=0.4, skew="Z0", seed=5)
         query = make_query("EQ5", dataset)
-        shj = SymmetricHashOperator(query, 16, seed=5).run()
-        dynamic = AdaptiveJoinOperator(query, 16, seed=5).run()
+        shj = SymmetricHashOperator(query, config=RunConfig(machines=16, seed=5)).run()
+        dynamic = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=5)).run()
         assert shj.total_storage <= dynamic.total_storage
 
 
@@ -101,7 +102,9 @@ class TestCompetitiveRatio:
         right = make_tuples(query.right_relation, query.right_records, rng)
         warmup = 64
         order = fluctuating_order(left, right, fluctuation_factor=4, warmup=warmup)
-        operator = AdaptiveJoinOperator(query, 16, seed=17, warmup_tuples=float(warmup))
+        operator = AdaptiveJoinOperator(
+            query, config=RunConfig(machines=16, seed=17, warmup_tuples=float(warmup))
+        )
         result = operator.run(arrival_order=order)
         post_init = [ratio for processed, ratio in result.ratio_series if processed > 4 * warmup]
         assert post_init, "expected ratio samples after adaptivity initiation"
@@ -117,6 +120,6 @@ class TestCompetitiveRatio:
 
     def test_blocking_actuation_is_not_faster(self, midsize_dataset):
         query = make_query("EQ5", midsize_dataset)
-        non_blocking = AdaptiveJoinOperator(query, 16, seed=2).run()
-        blocking = AdaptiveJoinOperator(query, 16, seed=2, blocking=True).run()
+        non_blocking = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2)).run()
+        blocking = AdaptiveJoinOperator(query, config=RunConfig(machines=16, seed=2, blocking=True)).run()
         assert non_blocking.execution_time <= blocking.execution_time * 1.1

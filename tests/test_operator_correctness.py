@@ -9,6 +9,7 @@ import random
 
 import pytest
 
+from repro.api import RunConfig
 from repro.core.baselines import (
     StaticMidOperator,
     StaticOptOperator,
@@ -49,23 +50,23 @@ class TestOperatorOutputs:
 
     def test_theta_join(self, small_dataset):
         query = make_query("THETA_NEQ", small_dataset)
-        operator = AdaptiveJoinOperator(query, 4, seed=1)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=4, seed=1))
         result = operator.run(collect_outputs=True)
         _assert_correct(result, query)
 
     def test_shj_rejects_non_equi(self, small_dataset):
         query = make_query("BNCI", small_dataset)
         with pytest.raises(ValueError):
-            SymmetricHashOperator(query, 8)
+            SymmetricHashOperator(query, config=RunConfig(machines=8))
 
     def test_non_power_of_two_machines_rejected(self, eq5_query):
         with pytest.raises(ValueError):
-            AdaptiveJoinOperator(eq5_query, 12)
+            AdaptiveJoinOperator(eq5_query, config=RunConfig(machines=12))
 
     @pytest.mark.parametrize("pattern", ["uniform", "r_first", "s_first", "alternate"])
     def test_arrival_order_does_not_affect_output(self, small_dataset, pattern):
         query = make_query("EQ7", small_dataset)
-        operator = AdaptiveJoinOperator(query, 8, seed=5, warmup_tuples=16)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=5, warmup_tuples=16))
         result = operator.run(arrival_pattern=pattern, collect_outputs=True)
         _assert_correct(result, query)
 
@@ -75,25 +76,25 @@ class TestOperatorOutputs:
         left = make_tuples(query.left_relation, query.left_records, rng)
         right = make_tuples(query.right_relation, query.right_records, rng)
         order = fluctuating_order(left, right, fluctuation_factor=4, warmup=32)
-        operator = AdaptiveJoinOperator(query, 8, seed=9, warmup_tuples=32)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=9, warmup_tuples=32))
         result = operator.run(arrival_order=order, collect_outputs=True)
         _assert_correct(result, query)
 
     def test_blocking_actuation_is_also_correct(self, small_dataset):
         query = make_query("EQ5", small_dataset)
-        operator = AdaptiveJoinOperator(query, 8, seed=2, blocking=True, warmup_tuples=16)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=2, blocking=True, warmup_tuples=16))
         result = operator.run(collect_outputs=True)
         _assert_correct(result, query)
 
     def test_row_major_layout_is_also_correct(self, small_dataset):
         query = make_query("EQ5", small_dataset)
-        operator = AdaptiveJoinOperator(query, 8, seed=2, layout="row_major", warmup_tuples=16)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=2, layout="row_major", warmup_tuples=16))
         result = operator.run(collect_outputs=True)
         _assert_correct(result, query)
 
     def test_correct_with_memory_pressure_and_spills(self, skewed_dataset):
         query = make_query("EQ5", skewed_dataset)
-        operator = AdaptiveJoinOperator(query, 8, seed=2, memory_capacity=20.0)
+        operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=2, memory_capacity=20.0))
         result = operator.run(collect_outputs=True)
         _assert_correct(result, query)
         assert result.spilled
@@ -101,14 +102,14 @@ class TestOperatorOutputs:
     def test_epsilon_variants_are_correct(self, small_dataset):
         query = make_query("EQ7", small_dataset)
         for epsilon in (0.25, 0.5, 1.0):
-            operator = AdaptiveJoinOperator(query, 8, seed=4, epsilon=epsilon, warmup_tuples=16)
+            operator = AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=4, epsilon=epsilon, warmup_tuples=16))
             result = operator.run(collect_outputs=True)
             _assert_correct(result, query)
 
     def test_determinism_same_seed_same_result(self, small_dataset):
         query = make_query("EQ5", small_dataset)
         results = [
-            AdaptiveJoinOperator(query, 8, seed=13).run(collect_outputs=True) for _ in range(2)
+            AdaptiveJoinOperator(query, config=RunConfig(machines=8, seed=13)).run(collect_outputs=True) for _ in range(2)
         ]
         assert results[0].output_count == results[1].output_count
         assert results[0].execution_time == pytest.approx(results[1].execution_time)
@@ -117,7 +118,7 @@ class TestOperatorOutputs:
 
 class TestRunResultContents:
     def test_result_fields_are_populated(self, eq5_query):
-        result = AdaptiveJoinOperator(eq5_query, 8, seed=1).run()
+        result = AdaptiveJoinOperator(eq5_query, config=RunConfig(machines=8, seed=1)).run()
         assert result.operator == "Dynamic"
         assert result.query == "EQ5"
         assert result.machines == 8
@@ -132,6 +133,6 @@ class TestRunResultContents:
 
     def test_static_operators_never_migrate(self, eq5_query):
         for cls in (StaticMidOperator, StaticOptOperator):
-            result = cls(eq5_query, 8, seed=1).run()
+            result = cls(eq5_query, config=RunConfig(machines=8, seed=1)).run()
             assert result.migrations == 0
             assert result.migration_volume == 0.0

@@ -47,10 +47,29 @@ def _predicate(name):
         return CompositePredicate(
             BandPredicate("v", "v", width=3), residuals=[lambda l, r: l["k"] != r["k"]]
         )
+    if name == "band-exact":
+        # The test workloads draw integer "v" values, so advertising range
+        # completeness is truthful; the vectorized engine then skips
+        # per-candidate re-validation while the scalar oracle still runs it.
+        return BandPredicate("v", "v", width=2, range_complete=True)
+    if name == "composite-band-exact":
+        return CompositePredicate(
+            BandPredicate("v", "v", width=3, range_complete=True),
+            residuals=[lambda l, r: l["k"] != r["k"]],
+        )
     raise ValueError(name)
 
 
-PREDICATE_NAMES = ["equi", "band", "theta", "notequal", "composite-equi", "composite-band"]
+PREDICATE_NAMES = [
+    "equi",
+    "band",
+    "theta",
+    "notequal",
+    "composite-equi",
+    "composite-band",
+    "band-exact",
+    "composite-band-exact",
+]
 
 
 def _mixed_stream(rng, count, keys=5, values=12):
@@ -182,6 +201,36 @@ class TestPropertyBased:
         vector = make_local_joiner(predicate, "R", "S", engine="vectorized")
         scalar_results = scalar.probe_batch(items)
         vector_results = vector.probe_batch(items)
+        for item, (s_matches, s_work), (v_matches, v_work) in zip(
+            items, scalar_results, vector_results
+        ):
+            assert _pair_ids(item, s_matches) == _pair_ids(item, v_matches)
+            assert s_work == v_work
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(-50, 50)), min_size=0, max_size=50
+        ),
+        st.integers(0, 7),
+        st.integers(1, 9),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_range_complete_band_matches_scalar_oracle(self, spec, width, batch_size):
+        """For integer-keyed bands, the range-complete fast path (no
+        per-candidate re-validation) must be indistinguishable from the
+        scalar oracle, which always re-validates — for any workload, width
+        and batch partitioning."""
+        items = [
+            StreamTuple(relation="R" if is_left else "S", record={"v": v, "k": 0})
+            for is_left, v in spec
+        ]
+        predicate = BandPredicate("v", "v", width=width, range_complete=True)
+        scalar = make_local_joiner(predicate, "R", "S", engine="scalar")
+        vector = make_local_joiner(predicate, "R", "S", engine="vectorized")
+        scalar_results = scalar.probe_batch(items)
+        vector_results = []
+        for pos in range(0, len(items), batch_size):
+            vector_results.extend(vector.probe_batch(items[pos:pos + batch_size]))
         for item, (s_matches, s_work), (v_matches, v_work) in zip(
             items, scalar_results, vector_results
         ):
