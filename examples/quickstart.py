@@ -34,6 +34,15 @@ def main() -> None:
     #    event counts, but not a single reported number (results and virtual
     #    times are bit-identical to the per-tuple plane — see
     #    tests/test_adaptive_conformance.py).
+    #
+    #    probe_engine picks how joiners evaluate the predicate — also purely
+    #    a wall-clock choice, never a results choice:
+    #      * "vectorized" (default): batch-aware pure-stdlib kernels.
+    #      * "scalar": the per-member reference loop; the differential oracle
+    #        the other engines are pinned against. Slowest, zero surprises.
+    #      * "columnar": set-at-a-time NumPy kernels (needs the `columnar`
+    #        extra: pip install repro[columnar]). Biggest win on match-dense
+    #        workloads, where per-pair Python costs dominate.
     config = RunConfig(machines=16, seed=7, batching="adaptive")
     session = JoinSession(query, config=config)
 

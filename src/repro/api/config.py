@@ -30,6 +30,7 @@ from typing import Any
 import repro.engine.batching  # noqa: F401  (populates the batch-controller registry)
 import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
 from repro.api.registry import LAYOUTS, batch_controllers, probe_engines
+from repro.engine.columns import HAS_NUMPY, NUMPY_HINT
 
 #: Arrival interleavings understood by the stream layer
 #: (see :func:`repro.engine.stream.interleave_streams`).
@@ -156,6 +157,12 @@ class RunConfig:
             raise ValueError(
                 f"unknown probe engine {self.probe_engine!r}; registered choices: "
                 f"{', '.join(probe_engines.names())}"
+            )
+        engine_spec = probe_engines.get(self.probe_engine)
+        if getattr(engine_spec, "requires", None) == "numpy" and not HAS_NUMPY:
+            raise ValueError(
+                f"probe engine {self.probe_engine!r} unavailable: {NUMPY_HINT}; "
+                f"registered choices: {', '.join(probe_engines.names())}"
             )
         if self.batching not in batch_controllers:
             raise ValueError(

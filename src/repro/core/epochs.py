@@ -243,7 +243,14 @@ class EpochJoinerState:
                 for item, (matches, work) in zip(items, self.store.probe_batch(items)):
                     actions = TupleActions(probe_work=work, stored=True)
                     if matches:
-                        actions.matches = [oriented(item, match) for match in matches]
+                        if matches.__class__ is list:
+                            actions.matches = [
+                                oriented(item, match) for match in matches
+                            ]
+                        else:
+                            # Columnar MatchBlock: already carries the probing
+                            # item and its orientation — no per-pair tuples.
+                            actions.matches = matches
                     results.append(actions)
                 return results
         else:

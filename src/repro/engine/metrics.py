@@ -11,9 +11,11 @@ The collector gathers everything the paper's evaluation reports:
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
 
+from repro.engine.columns import np
 from repro.engine.stream import StreamTuple
 
 
@@ -64,6 +66,12 @@ class MetricsCollector:
     #: settle loop is the hottest merged-wire path, so there is no
     #: ``record_*`` wrapper — keep any future writers consistent with it).
     wire_histogram: dict[int, int] = field(default_factory=dict)
+    #: Columnar emission storage: ``(output_time, machine_id, latency_array)``
+    #: per recorded :class:`~repro.engine.columns.MatchBlock`.  Latency values
+    #: are bit-identical to the scalar samples (same float64 max/subtract per
+    #: pair, applied elementwise); they are only *stored* in bulk.  Consumers
+    #: wanting flat samples use :meth:`latency_samples`.
+    latency_blocks: list[tuple[float, int, object]] = field(default_factory=list)
 
     # ------------------------------------------------------------ recording
 
@@ -97,7 +105,14 @@ class MetricsCollector:
 
         Bulk path for the per-tuple match loop: identical samples to calling
         :meth:`record_output` per pair, with the collector overhead paid once.
+
+        Columnar match sets (:class:`~repro.engine.columns.MatchBlock`) are
+        dispatched on type to the vectorised block kernel — call sites stay
+        oblivious to which engine produced the matches.
         """
+        if matches.__class__ is not list:
+            self._record_block(matches, output_time, machine_id)
+            return
         self.output_count += len(matches)
         if self.collect_outputs:
             self.outputs.extend(
@@ -113,6 +128,28 @@ class MetricsCollector:
                     machine_id=machine_id,
                 )
             )
+
+    def _record_block(self, block, output_time: float, machine_id: int) -> None:
+        """Record a columnar :class:`MatchBlock` with one latency kernel.
+
+        ``max(left.arrival_time, right.arrival_time)`` / subtract / clamp-at-0
+        per pair, run elementwise over the block's arrival column — each value
+        is the bit-identical float64 result of the scalar sample arithmetic.
+        The block's arrays are never mutated (they may be zero-copy snapshots
+        of live index columns); every kernel output is a fresh array.
+        """
+        self.output_count += block.count
+        if self.collect_outputs:
+            item_id = block.item.tuple_id
+            ids = block.ids.tolist()
+            if block.item_is_left:
+                self.outputs.extend((item_id, candidate) for candidate in ids)
+            else:
+                self.outputs.extend((candidate, item_id) for candidate in ids)
+        newer = np.maximum(block.arrivals, block.item.arrival_time)
+        latencies = output_time - newer
+        np.maximum(latencies, 0.0, out=latencies)
+        self.latency_blocks.append((output_time, machine_id, latencies))
 
     def record_probe_work(self, amount: float) -> None:
         """Accumulate joiner probe work units (index candidates inspected,
@@ -189,17 +226,44 @@ class MetricsCollector:
 
     # ------------------------------------------------------------ summaries
 
+    def latency_samples(self):
+        """Iterate every output latency as :class:`LatencySample`.
+
+        Flattens the bulk-stored columnar blocks into the scalar sample shape;
+        ordering is scalar samples first, then blocks in recording order.
+        """
+        yield from self.latencies
+        for output_time, machine_id, latencies in self.latency_blocks:
+            for latency in latencies.tolist():
+                yield LatencySample(
+                    output_time=output_time, latency=latency, machine_id=machine_id
+                )
+
     def average_latency(self) -> float:
         """Mean output-tuple latency (0 when no output was produced).
 
         Uses exact summation (:func:`math.fsum`) so the mean does not depend
         on the order outputs were recorded in — joiners on different machines
         interleave their emissions differently across data planes even when
-        every individual sample is bit-identical.
+        every individual sample is bit-identical.  Scalar samples and columnar
+        block arrays feed one *single* fsum pass (a sum of per-group fsums
+        would not be exactly rounded, so it would not be order-independent).
         """
-        if not self.latencies:
+        blocks = self.latency_blocks
+        count = len(self.latencies)
+        if blocks:
+            count += sum(latencies.shape[0] for _, _, latencies in blocks)
+        if not count:
             return 0.0
-        return math.fsum(sample.latency for sample in self.latencies) / len(self.latencies)
+        values = (sample.latency for sample in self.latencies)
+        if blocks:
+            values = itertools.chain(
+                values,
+                itertools.chain.from_iterable(
+                    latencies.tolist() for _, _, latencies in blocks
+                ),
+            )
+        return math.fsum(values) / count
 
     def throughput(self) -> float:
         """Input tuples processed per unit of virtual time."""

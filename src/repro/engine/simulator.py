@@ -30,7 +30,6 @@ import itertools
 import random
 from bisect import bisect_left, bisect_right
 from collections import deque
-from itertools import islice, repeat
 from typing import Iterable
 
 from repro.engine.machine import CostModel, Machine
@@ -101,6 +100,30 @@ class DeliveryRun:
         self.messages = messages
         self.start = 0
         self.closed = False
+
+
+class SettledSegment:
+    """A settled multi-member slice of a :class:`DeliveryRun` — one inbox entry.
+
+    The settle pass used to append one ``(task, message)`` tuple per member;
+    a segment instead hands the run's message list to the consumer with a
+    ``[index, end)`` cursor window — no per-member allocation on the settle
+    path.  Inbox entries are therefore either ``(task, message)`` tuples or
+    segments (``entry.__class__ is tuple`` distinguishes them); consumers
+    (the tick loop and every ``Task.handle_drained`` implementation) take the
+    member at ``index``, advance it in place, and drop the segment once
+    ``index`` reaches ``end``.  Per-tuple inbox order is preserved because
+    the settle pass cuts segments exactly at the ``(time, rank)`` boundaries
+    where per-member appends would have interleaved other deliveries.
+    """
+
+    __slots__ = ("task", "messages", "index", "end")
+
+    def __init__(self, task: Task, messages: list, index: int, end: int) -> None:
+        self.task = task
+        self.messages = messages
+        self.index = index
+        self.end = end
 
 
 class Simulator:
@@ -593,7 +616,6 @@ class Simulator:
         inbox = self._inboxes[machine_id]
         heappop = heapq.heappop
         heappush = heapq.heappush
-        extend = inbox.extend
         wire_histogram = self.metrics.wire_histogram
         while pending and pending[0][0] <= time:
             entry = heappop(pending)
@@ -627,7 +649,7 @@ class Simulator:
             if end - index == 1:
                 inbox.append((task, run.messages[index]))
             else:
-                extend(zip(repeat(task), islice(run.messages, index, end)))
+                inbox.append(SettledSegment(task, run.messages, index, end))
             if end < count:
                 run.start = end
                 heappush(pending, (times[end], run.ranks[end], run))
@@ -667,12 +689,29 @@ class Simulator:
         machine = self.machines[machine_id]
         start = max(time, machine.busy_until)
         if self._drain_controllers is not None:
-            task, message = inbox.popleft()
+            entry = inbox.popleft()
+            if entry.__class__ is tuple:
+                task, message = entry
+            else:
+                task = entry.task
+                message = entry.messages[entry.index]
+                entry.index += 1
+                if entry.index < entry.end:
+                    inbox.appendleft(entry)
             key = task.drain_key(message)
             if key is None:
                 self._execute(task, message, start)
             else:
-                limit = self._drain_controllers[machine_id].next_batch_size(1 + len(inbox))
+                # Backlog estimate for the drain controller: the exact member
+                # count of the inbox, counting every member still inside a
+                # settled segment — identical to the unmerged plane's
+                # per-member inbox length.
+                backlog = 1 + len(inbox)
+                if merging:
+                    for pending_entry in inbox:
+                        if pending_entry.__class__ is not tuple:
+                            backlog += pending_entry.end - pending_entry.index - 1
+                limit = self._drain_controllers[machine_id].next_batch_size(backlog)
                 if limit > 1 and inbox:
                     self._execute_drained(
                         task, message, inbox, limit, key, start, time, machine_id
@@ -681,7 +720,15 @@ class Simulator:
                     self.metrics.record_drained_run(1)
                     self._execute(task, message, start)
         else:
-            task, message = inbox.popleft()
+            entry = inbox.popleft()
+            if entry.__class__ is tuple:
+                task, message = entry
+            else:
+                task = entry.task
+                message = entry.messages[entry.index]
+                entry.index += 1
+                if entry.index < entry.end:
+                    inbox.appendleft(entry)
             self._execute(task, message, start)
         if inbox:
             self._schedule_tick(machine_id, max(machine.busy_until, start))

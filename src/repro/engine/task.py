@@ -268,21 +268,34 @@ class Task:
         so per-member charges land on the machine's busy chain exactly as
         per-tuple handling would, MUST only pull inbox heads belonging to
         this task whose :meth:`drain_key` equals ``key``, and return the
-        member count.  The default processes members through :meth:`handle`
-        one by one — bit-identical to per-tuple delivery, saving only
-        simulator events; subclasses may batch the member work itself (see
-        ``JoinerTask``) or stop pulling early (e.g. at the control-plane
-        drain horizon, see ``ReshufflerTask``) as long as per-member
-        accounting is preserved.
+        member count.  Inbox entries are either ``(task, message)`` tuples or
+        ``SettledSegment`` cursor windows over a merged delivery run (see the
+        simulator module); implementations must consume both shapes.  The
+        default processes members through :meth:`handle` one by one —
+        bit-identical to per-tuple delivery, saving only simulator events;
+        subclasses may batch the member work itself (see ``JoinerTask``) or
+        stop pulling early (e.g. at the control-plane drain horizon, see
+        ``ReshufflerTask``) as long as per-member accounting is preserved.
         """
         self.handle(first, ctx)
         ctx.boundary()
         count = 1
         while count < limit and inbox:
-            task, message = inbox[0]
-            if task is not self or self.drain_key(message) != key:
-                break
-            inbox.popleft()
+            head = inbox[0]
+            if head.__class__ is tuple:
+                task, message = head
+                if task is not self or self.drain_key(message) != key:
+                    break
+                inbox.popleft()
+            else:
+                if head.task is not self:
+                    break
+                message = head.messages[head.index]
+                if self.drain_key(message) != key:
+                    break
+                head.index += 1
+                if head.index == head.end:
+                    inbox.popleft()
             self.handle(message, ctx)
             ctx.boundary()
             count += 1

@@ -51,6 +51,7 @@ from repro.api.registry import (
     register_predicate,
     register_probe_engine,
 )
+from repro.engine.columns import HAS_NUMPY, NUMPY_HINT
 from repro.engine.stream import StreamTuple
 from repro.joins.index import JoinIndex, make_index
 from repro.joins.predicates import (
@@ -78,12 +79,29 @@ class ProbeEngine:
             implementing the batch insert+probe pass; must reproduce the
             scalar reference semantics exactly (same matches, same charged
             work).
+        index_factory: optional ``(kind, key_func) -> JoinIndex`` override
+            used instead of :func:`repro.joins.index.make_index`; lets an
+            engine pair its kernels with matching index layouts (the columnar
+            engine's array-mirrored indexes).
+        requires: optional name of an extra this engine depends on (today
+            only ``"numpy"``).  The engine always *registers* — it appears in
+            the choice lists — but joiner/config construction raises an eager
+            error when the extra is missing.
+        bulk_commit: whether joiner tasks may replace the per-member Python
+            cost/busy accumulation of a batch with the vectorised
+            ``np.cumsum`` chain (``JoinerTask`` gates it further on the
+            conditions that make the chain provably bit-identical: unbounded
+            memory, every member stored, no relocations).  Only meaningful
+            with ``batch_aware`` and a NumPy-backed engine.
     """
 
     name: str
     batch_aware: bool
     exact_key_fast_path: bool
     probe_batch: Callable[["LocalJoiner", Sequence[StreamTuple]], list]
+    index_factory: Callable[[str, Callable | None], JoinIndex] | None = None
+    requires: str | None = None
+    bulk_commit: bool = False
 
 
 class LocalJoiner:
@@ -106,6 +124,8 @@ class LocalJoiner:
     ) -> None:
         # Registry lookup raises eagerly with the registered choices listed.
         self._engine_spec: ProbeEngine = probe_engines.get(engine)
+        if self._engine_spec.requires == "numpy" and not HAS_NUMPY:
+            raise ValueError(f"probe engine {engine!r} unavailable: {NUMPY_HINT}")
         self.predicate = predicate
         self.left_relation = left_relation
         self.right_relation = right_relation
@@ -163,6 +183,9 @@ class LocalJoiner:
         return lambda item: self.predicate.right_key(item.record)
 
     def _build_index(self, side: str) -> JoinIndex:
+        factory = self._engine_spec.index_factory
+        if factory is not None:
+            return factory(self.predicate.kind, self._key_func(side))
         return make_index(self.predicate.kind, self._key_func(side))
 
     def fresh(self) -> "LocalJoiner":
@@ -634,3 +657,8 @@ register_probe_engine(
 register_predicate("equi", SymmetricHashJoiner, EquiPredicate)
 register_predicate("band", SortedBandJoiner, BandPredicate)
 register_predicate("theta", NestedLoopJoiner, ThetaPredicate)
+
+# The columnar engine registers itself from its own module (it needs every
+# name above, so the import sits after them — a deliberately resolvable
+# circular import, same pattern as the registrations living at the bottom).
+from repro.joins import columnar as _columnar  # noqa: E402,F401

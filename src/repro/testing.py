@@ -10,7 +10,9 @@ assertion those suites (and third-party backends registered through
 from __future__ import annotations
 
 
-def assert_run_equivalent(result_a, result_b, *, timing=True, network=True, label=""):
+def assert_run_equivalent(
+    result_a, result_b, *, timing=True, network=True, events=False, label=""
+):
     """Assert two :class:`~repro.core.results.RunResult`\\ s are equivalent.
 
     The baseline comparison (always on) pins the *semantics*: join output (as
@@ -27,6 +29,12 @@ def assert_run_equivalent(result_a, result_b, *, timing=True, network=True, labe
     edge).
 
     ``network=True`` pins the traffic volumes per category.
+
+    ``events=True`` additionally pins the *event plumbing*: global heap
+    events and the per-link wire-merge histogram.  Same-plane comparisons
+    only (e.g. probe-engine pairs on one data plane) — comparing across
+    planes (merged vs unmerged wire, batched vs per-tuple) legitimately
+    changes both.
     """
     prefix = f"{label}: " if label else ""
     if result_a.outputs is not None and result_b.outputs is not None:
@@ -55,6 +63,11 @@ def assert_run_equivalent(result_a, result_b, *, timing=True, network=True, labe
             f"{prefix}migration timing"
         )
         assert result_a.spilled == result_b.spilled, f"{prefix}spill flag"
+    if events:
+        assert result_a.heap_events == result_b.heap_events, f"{prefix}heap_events"
+        assert result_a.wire_histogram == result_b.wire_histogram, (
+            f"{prefix}wire_histogram"
+        )
     if network:
         assert result_a.routing_volume == result_b.routing_volume, f"{prefix}routing volume"
         assert result_a.migration_volume == result_b.migration_volume, (

@@ -39,6 +39,7 @@ from repro.core.epochs import JoinerPhase
 from repro.core.operator import AdaptiveJoinOperator
 from repro.data.queries import JoinQuery, make_query
 from repro.engine.batching import AdaptiveBatchController
+from repro.engine.columns import HAS_NUMPY
 from repro.engine.simulator import Simulator
 from repro.engine.stream import (
     StreamTuple,
@@ -47,7 +48,7 @@ from repro.engine.stream import (
     make_tuples,
 )
 from repro.engine.task import DataEnvelope, Message, MessageKind, Task
-from repro.joins.predicates import CompositePredicate, EquiPredicate
+from repro.joins.predicates import BandPredicate, CompositePredicate, EquiPredicate
 
 MACHINES = 8
 SEED = 5
@@ -196,8 +197,8 @@ class TestMaterialisedConformance:
 # ---------------------------------------------------------------------------
 
 
-def _stream_run(query, order, chunks, **overrides):
-    session = JoinSession(query, config=_config(**overrides))
+def _stream_run(query, order, chunks, operator="Dynamic", **overrides):
+    session = JoinSession(query, operator=operator, config=_config(**overrides))
     session.open_stream(collect_outputs=True)
     position = 0
     for chunk in chunks:
@@ -595,3 +596,130 @@ class TestDeliveryMergingInterleavings:
             simulator.run()
             return log
         assert run(True) == run(False)
+
+
+# ---------------------------------------------------------------------------
+# Columnar probe engine: differential conformance vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+
+needs_numpy = pytest.mark.skipif(
+    not HAS_NUMPY, reason="the columnar probe engine requires NumPy"
+)
+
+#: Data-plane configurations the scalar-vs-columnar cells run on.  Both sides
+#: of a cell share the plane, so the comparison may pin the event plumbing too.
+ENGINE_PLANES = {
+    "fixed": {"batch_size": 4},
+    "adaptive": {"batching": "adaptive"},
+}
+
+
+@needs_numpy
+class TestColumnarEngineConformance:
+    """The columnar engine against the scalar differential oracle.
+
+    These are *same-plane* pairs (unlike the plane-vs-plane suites above), so
+    ``events=True`` additionally pins the global heap-event count and the
+    wire-merge histogram: the columnar kernels must change how member work is
+    computed, never what flows over the wire.
+    """
+
+    @pytest.mark.parametrize("predicate", ["equi", "band", "composite"])
+    @pytest.mark.parametrize("operator", sorted(OPERATORS))
+    @pytest.mark.parametrize("plane", sorted(ENGINE_PLANES))
+    def test_materialised_matches_scalar_oracle(
+        self, queries, predicate, operator, plane
+    ):
+        query = queries[predicate]
+        order = _arrival_order(query)
+        shared = ENGINE_PLANES[plane]
+        scalar = _run(
+            OPERATORS[operator], query, order, probe_engine="scalar", **shared
+        )
+        columnar = _run(
+            OPERATORS[operator], query, order, probe_engine="columnar", **shared
+        )
+        label = f"columnar/{predicate}/{operator}/{plane}"
+        assert_run_equivalent(scalar, columnar, events=True, label=label)
+        if operator == "migrating":
+            assert scalar.migrations >= 1, f"{label}: scenario must migrate"
+
+    @pytest.mark.parametrize("predicate", ["equi", "band", "composite"])
+    @pytest.mark.parametrize("operator", sorted(OPERATORS))
+    def test_streaming_matches_scalar_oracle(self, queries, predicate, operator):
+        query = queries[predicate]
+        order = _arrival_order(query)
+        chunks = _chunking(23, len(order))
+        kind = {"migrating": "Dynamic", "static": "StaticMid"}[operator]
+        scalar = _stream_run(
+            query, order, chunks,
+            operator=kind, batching="adaptive", probe_engine="scalar",
+        )
+        columnar = _stream_run(
+            query, order, chunks,
+            operator=kind, batching="adaptive", probe_engine="columnar",
+        )
+        label = f"columnar-stream/{predicate}/{operator}"
+        assert_run_equivalent(scalar, columnar, events=True, label=label)
+
+
+_HYP_PREDICATES = {
+    "equi": lambda: EquiPredicate("k", "k"),
+    "band": lambda: BandPredicate("k", "k", width=2.0),
+    "band_exact": lambda: BandPredicate("k", "k", width=2.0, range_complete=True),
+    "composite": lambda: CompositePredicate(
+        EquiPredicate("k", "k"), residuals=[lambda l, r: (l["v"] + r["v"]) % 2 == 0]
+    ),
+}
+
+_INT_RECORDS = st.fixed_dictionaries(
+    {"k": st.integers(0, 9), "v": st.integers(0, 29)}
+)
+# Quarter-steps are exactly representable, so band windows stay exact while
+# the keys exercise the columnar float-key (vectorised band-mask) path.
+_FLOAT_RECORDS = st.fixed_dictionaries(
+    {"k": st.integers(0, 40).map(lambda n: n / 4.0), "v": st.integers(0, 29)}
+)
+
+
+@st.composite
+def _random_workloads(draw):
+    kind = draw(st.sampled_from(sorted(_HYP_PREDICATES)))
+    records = _FLOAT_RECORDS if kind == "band" else _INT_RECORDS
+    left = draw(st.lists(records, min_size=4, max_size=36))
+    right = draw(st.lists(records, min_size=4, max_size=48))
+    seed = draw(st.integers(0, 1023))
+    return kind, left, right, seed
+
+
+@needs_numpy
+class TestColumnarDifferentialProperties:
+    @given(workload=_random_workloads())
+    @settings(max_examples=16, deadline=None)
+    def test_random_workloads_match_scalar_oracle(self, workload):
+        """For ANY workload (predicate kind, records, arrival interleaving)
+        the columnar engine reproduces the scalar oracle bit-for-bit, event
+        plumbing included."""
+        kind, left, right, seed = workload
+        query = JoinQuery(
+            name=f"HYP-{kind}",
+            left_relation="R",
+            right_relation="S",
+            left_records=left,
+            right_records=right,
+            predicate=_HYP_PREDICATES[kind](),
+            description="randomised columnar-vs-scalar differential workload",
+        )
+        order = _arrival_order(query, seed=seed)
+        scalar = _run(
+            AdaptiveJoinOperator, query, order,
+            batching="adaptive", probe_engine="scalar",
+        )
+        columnar = _run(
+            AdaptiveJoinOperator, query, order,
+            batching="adaptive", probe_engine="columnar",
+        )
+        assert_run_equivalent(
+            scalar, columnar, events=True, label=f"hyp/{kind}/seed={seed}"
+        )
