@@ -1,0 +1,30 @@
+"""Fault tolerance — checkpoint cadence vs recovery cost under a joiner crash."""
+
+from conftest import run_report
+
+from repro.bench.experiments import recovery_sweep
+
+
+def test_recovery_sweep(benchmark):
+    report = run_report(
+        benchmark,
+        recovery_sweep,
+        scale=0.4,
+        machines=16,
+        seed=1,
+        intervals=(None, 25, 100, 400),
+    )
+    rows = {row["checkpoint_interval"]: row for row in report.rows}
+    baseline = rows["fault-free"]
+    # Every crashed row recovered: one fault, positive recovery time, and the
+    # fault-free output count (the driver itself asserts count equality).
+    for key, row in rows.items():
+        if key == "fault-free":
+            continue
+        assert row["faults"] == 1
+        assert row["recovery_time"] > 0.0
+        assert row["output_count"] == baseline["output_count"]
+        assert row["checkpoint_kb"] > 0.0
+    # Snapshotting bounds the journal: the most frequent cadence must not
+    # replay more than the journal-only configuration.
+    assert rows[25]["tuples_replayed"] <= rows["journal-only"]["tuples_replayed"]

@@ -37,9 +37,11 @@ from repro.api.registry import (
     register_probe_engine,
 )
 from repro.api.session import JoinSession, StreamSnapshot, build_operator
+from repro.engine.faults import FaultSpec, crash, crash_after_events
 
 __all__ = [
     "ARRIVAL_PATTERNS",
+    "FaultSpec",
     "JoinSession",
     "PredicateKind",
     "Registry",
@@ -47,6 +49,8 @@ __all__ = [
     "StreamSnapshot",
     "batch_controllers",
     "build_operator",
+    "crash",
+    "crash_after_events",
     "operators",
     "predicate_kinds",
     "probe_engines",

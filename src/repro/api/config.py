@@ -31,6 +31,7 @@ import repro.engine.batching  # noqa: F401  (populates the batch-controller regi
 import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
 from repro.api.registry import LAYOUTS, batch_controllers, probe_engines
 from repro.engine.columns import HAS_NUMPY, NUMPY_HINT
+from repro.engine.faults import FaultSpec, normalize_fault_schedule
 
 #: Arrival interleavings understood by the stream layer
 #: (see :func:`repro.engine.stream.interleave_streams`).
@@ -82,6 +83,24 @@ class RunConfig:
         arrival_pattern: interleaving of the two input streams (pacing).
         inter_arrival: virtual-time gap between consecutive arrivals (pacing;
             0 = joiners fully utilised).
+        fault_schedule: deterministic machine crashes to inject — a sequence
+            of :class:`~repro.engine.faults.FaultSpec` entries (build them
+            with :func:`~repro.engine.faults.crash` /
+            :func:`~repro.engine.faults.crash_after_events`); plain dicts are
+            accepted for the JSON round trip.  Empty (default) = no faults.
+            Requires the non-blocking protocol (``blocking=False``).
+        checkpoint_interval: journal deltas a task may accumulate before its
+            next epoch-aligned durable snapshot; ``None`` (default) disables
+            checkpointing unless a fault schedule is present, in which case
+            recovery replays the full journal.  Fault-free runs with an
+            interval set stay bit-identical to the reference plane (pinned by
+            the conformance suite).
+        ack_timeout: virtual time after a crash at which the coordinator
+            detects the failure (the default restart instant) and the link
+            layer first retries buffered traffic to the dead machine.
+        max_retries: link-layer retry attempts (with doubling backoff) for
+            traffic addressed to a crashed machine before the run fails with
+            an unreachable-machine error.
     """
 
     machines: int = 16
@@ -99,6 +118,10 @@ class RunConfig:
     delivery_merging: bool | None = None
     arrival_pattern: str = "uniform"
     inter_arrival: float = 0.0
+    fault_schedule: tuple = ()
+    checkpoint_interval: int | None = None
+    ack_timeout: float = 5.0
+    max_retries: int = 5
 
     # ------------------------------------------------------------- validation
 
@@ -119,6 +142,9 @@ class RunConfig:
             ("delivery_merging", self.delivery_merging, bool, True),
             ("arrival_pattern", self.arrival_pattern, str, False),
             ("inter_arrival", self.inter_arrival, (int, float), False),
+            ("checkpoint_interval", self.checkpoint_interval, int, True),
+            ("ack_timeout", self.ack_timeout, (int, float), False),
+            ("max_retries", self.max_retries, int, False),
         )
         for name, value, types, optional in expectations:
             if optional and value is None:
@@ -134,6 +160,9 @@ class RunConfig:
                 )
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "fault_schedule", normalize_fault_schedule(self.fault_schedule)
+        )
         self._check_types()
         if self.machines < 1:
             raise ValueError(f"machines must be >= 1, got {self.machines}")
@@ -200,6 +229,29 @@ class RunConfig:
             )
         if self.inter_arrival < 0:
             raise ValueError(f"inter_arrival must be >= 0, got {self.inter_arrival}")
+        for fault in self.fault_schedule:
+            if not isinstance(fault, FaultSpec):  # normalize_fault_schedule guarantees
+                raise ValueError(f"fault_schedule entry is not a FaultSpec: {fault!r}")
+            if fault.machine >= self.machines:
+                raise ValueError(
+                    f"fault_schedule machine {fault.machine} out of range; "
+                    f"choices: 0..{self.machines - 1} (machines={self.machines})"
+                )
+        if self.fault_schedule and self.blocking:
+            raise ValueError(
+                "fault injection requires the non-blocking migration protocol "
+                "(blocking=False): recovery is framed as an involuntary "
+                "migration, which the blocking protocol's buffered-resume "
+                "control flow does not model"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1 or None, got {self.checkpoint_interval}"
+            )
+        if self.ack_timeout <= 0:
+            raise ValueError(f"ack_timeout must be > 0, got {self.ack_timeout}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
 
     # -------------------------------------------------------------- overrides
 

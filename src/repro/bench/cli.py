@@ -44,6 +44,7 @@ DRIVERS: dict[str, Callable[..., experiments.ExperimentReport]] = {
     "ablation-epsilon": experiments.ablation_epsilon,
     "ablation-migration": experiments.ablation_migration_strategy,
     "ablation-blocking": experiments.ablation_blocking,
+    "recovery": experiments.recovery_sweep,
 }
 
 

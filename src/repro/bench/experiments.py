@@ -16,7 +16,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.api import JoinSession, RunConfig
+from repro.api import JoinSession, RunConfig, crash_after_events
 from repro.bench.harness import ExperimentConfig, build_query, run_single
 from repro.bench.report import format_series, format_table
 from repro.core.decision import competitive_ratio_bound
@@ -640,3 +640,76 @@ def ablation_blocking(
         )
     text = format_table(rows, title="Ablation — blocking vs non-blocking actuation")
     return ExperimentReport(name="ablation_blocking", rows=rows, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance — checkpoint cadence vs recovery cost
+# ---------------------------------------------------------------------------
+
+def recovery_sweep(
+    scale: float = 0.4,
+    machines: int = 16,
+    seed: int = 1,
+    intervals: tuple[int | None, ...] = (None, 25, 100, 400),
+) -> ExperimentReport:
+    """Checkpoint-cadence trade-off under a mid-run joiner crash.
+
+    A fault-free baseline first measures the run's event count; every swept
+    configuration then crashes one joiner at the halfway point and recovers
+    it through the checkpoint store.  Frequent snapshots (small interval)
+    shorten the journal recovery must replay but write more checkpoint bytes
+    during normal operation; ``interval=None`` journals without ever
+    snapshotting, so recovery replays the machine's whole history.  Output
+    counts must match the fault-free baseline on every row — recovery is a
+    correctness mechanism, not an approximation.
+    """
+    config = ExperimentConfig(machines=machines, scale=scale, skew="Z0", seed=seed)
+    query = build_query("EQ5", config)
+    baseline = JoinSession(
+        query, config=RunConfig(machines=machines, seed=seed)
+    ).run()
+    anchor = max(1, baseline.events_processed // 2)
+    schedule = [crash_after_events(machines // 2, anchor)]
+    rows = [
+        {
+            "checkpoint_interval": "fault-free",
+            "faults": 0,
+            "recovery_time": 0.0,
+            "tuples_replayed": 0,
+            "checkpoint_kb": 0.0,
+            "execution_time": round(baseline.execution_time, 1),
+            "output_count": baseline.output_count,
+        }
+    ]
+    for interval in intervals:
+        run_config = RunConfig(
+            machines=machines,
+            seed=seed,
+            checkpoint_interval=interval,
+            fault_schedule=schedule,
+        )
+        result = JoinSession(query, config=run_config).run()
+        if result.output_count != baseline.output_count:
+            raise AssertionError(
+                f"checkpoint_interval={interval} changed the output count "
+                f"({result.output_count} != {baseline.output_count})"
+            )
+        rows.append(
+            {
+                "checkpoint_interval": "journal-only" if interval is None else interval,
+                "faults": result.faults_injected,
+                "recovery_time": round(result.recovery_time, 2),
+                "tuples_replayed": result.tuples_replayed,
+                "checkpoint_kb": round(result.checkpoint_overhead / 1024.0, 1),
+                "execution_time": round(result.execution_time, 1),
+                "output_count": result.output_count,
+            }
+        )
+    text = format_table(
+        rows,
+        title=(
+            f"Recovery sweep — EQ5@Z0, {machines} joiners, crash at "
+            f"{anchor} events (Dynamic)"
+        ),
+    )
+    return ExperimentReport(name="recovery_sweep", rows=rows, text=text)

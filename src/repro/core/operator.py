@@ -23,12 +23,14 @@ from repro.api.config import RunConfig
 from repro.api.registry import batch_controllers, register_operator
 from repro.core.decision import MigrationController
 from repro.core.mapping import Mapping, is_power_of_two, optimal_mapping, square_mapping
+from repro.core.recovery import RecoveryManager
 from repro.core.results import RunResult
 from repro.core.tasks import HashReshufflerTask, JoinerTask, ReshufflerTask, Topology
 from repro.data.queries import JoinQuery
 from repro.engine.machine import CostModel
 from repro.engine.simulator import Simulator
 from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams, make_tuples
+from repro.storage.checkpoint_store import CheckpointStore
 
 #: Default micro-batch size of the batched data plane.  Chosen so that scale-up
 #: runs are dominated by operator logic rather than per-event simulator
@@ -150,6 +152,13 @@ class GridJoinOperator:
             if config.delivery_merging is None
             else config.delivery_merging
         )
+        # The fault-tolerant plane: active when there are crashes to inject
+        # or durable checkpointing was requested.  Fault-free runs with the
+        # plane active stay bit-identical to the reference plane (journaling
+        # charges nothing and touches neither the heap nor the rng).
+        self._fault_plane = (
+            bool(config.fault_schedule) or config.checkpoint_interval is not None
+        )
 
     # ------------------------------------------------------------------ build
 
@@ -258,6 +267,19 @@ class GridJoinOperator:
         topology = self._build_topology()
         tasks = self._build_tasks(topology, expected_inputs)
         simulator.register_all(tasks)
+        if self._fault_plane:
+            manager = RecoveryManager(
+                simulator=simulator,
+                topology=topology,
+                store=CheckpointStore(),
+                schedule=self.config.fault_schedule,
+                checkpoint_interval=self.config.checkpoint_interval,
+                ack_timeout=self.config.ack_timeout,
+                max_retries=self.config.max_retries,
+                initial_mapping=self.initial_mapping,
+            )
+            manager.attach_journals(simulator)
+            simulator.install_faults(manager)
         return simulator, topology
 
     def run(
@@ -318,6 +340,17 @@ class GridJoinOperator:
         metrics = simulator.metrics
         controller_task = simulator.tasks[topology.controller_name]
         final_mapping = controller_task.mapping
+        recovery = getattr(simulator, "_recovery", None)
+        faults_injected = 0
+        recovery_time = 0.0
+        tuples_replayed = 0
+        checkpoint_overhead = 0.0
+        if recovery is not None:
+            faults_injected = recovery.faults_injected
+            recovery_time = recovery.recovery_time
+            tuples_replayed = recovery.tuples_replayed
+            checkpoint_overhead = float(recovery.store.bytes_written)
+            recovery.store.close()
         return RunResult(
             operator=self.operator_name,
             query=self.query.name,
@@ -366,6 +399,10 @@ class GridJoinOperator:
             cardinality_series=list(metrics.competitive_series),
             progress_series=metrics.progress_fraction_series(expected_inputs),
             outputs=list(metrics.outputs) if metrics.collect_outputs else None,
+            faults_injected=faults_injected,
+            recovery_time=recovery_time,
+            tuples_replayed=tuples_replayed,
+            checkpoint_overhead=checkpoint_overhead,
         )
 
 

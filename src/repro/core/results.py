@@ -64,6 +64,14 @@ class RunResult:
         progress_series: (fraction of input processed, virtual time) samples.
         outputs: matched (left_tuple_id, right_tuple_id) pairs when output
             collection was requested (tests only).
+        faults_injected: number of machine crashes the fault schedule injected.
+        recovery_time: total virtual time spent recovering — per crash, the
+            outage window (crash to restart) plus the restore cost of
+            re-materialising the checkpoint and replaying the journal.
+        tuples_replayed: data/µ tuples replayed through the real handlers
+            during restores (the delta-log length recovery paid for).
+        checkpoint_overhead: bytes written to the durable checkpoint store
+            (snapshots + delta journal) over the run.
     """
 
     operator: str
@@ -99,6 +107,10 @@ class RunResult:
     cardinality_series: list[tuple[int, float]] = field(default_factory=list)
     progress_series: list[tuple[float, float]] = field(default_factory=list)
     outputs: list[tuple[int, int]] | None = None
+    faults_injected: int = 0
+    recovery_time: float = 0.0
+    tuples_replayed: int = 0
+    checkpoint_overhead: float = 0.0
 
     def summary_row(self) -> dict[str, float | int | str | bool]:
         """Flat dictionary used by the benchmark reports."""

@@ -164,6 +164,11 @@ class ReshufflerTask(Task):
         self._buffer: list[StreamTuple] = []
         self._seen = 0
 
+    #: Recovery journal (fault-tolerant plane only; see repro.core.recovery).
+    #: Protocol-critical transitions are journaled as deltas so a restored
+    #: reshuffler resumes with the exact epoch/mapping/ack state.
+    _journal = None
+
     # -------------------------------------------------------------- handling
 
     @property
@@ -183,6 +188,8 @@ class ReshufflerTask(Task):
             self._handle_resume(ctx)
         else:
             raise ValueError(f"reshuffler {self.name} cannot handle {message.kind}")
+        if self._journal is not None:
+            self._journal.maybe_snapshot(self)
 
     def _handle_source_batch(self, message: Message, ctx: Context) -> None:
         if message.meta.get("inner") is not MessageKind.SOURCE:
@@ -297,6 +304,8 @@ class ReshufflerTask(Task):
                 head.index += 1
                 if head.index == head.end:
                     inbox.popleft()
+        if self._journal is not None:
+            self._journal.maybe_snapshot(self)
         return count
 
     def _handle_source(
@@ -360,6 +369,8 @@ class ReshufflerTask(Task):
         old_mapping = self.mapping
         self.migration_in_flight = True
         self.acks_received = 0
+        if self._journal is not None:
+            self._journal.log(("rtrig",))
         next_epoch = self.epoch + 1
         ctx.metrics.start_migration(
             next_epoch, ctx.now, (old_mapping.n, old_mapping.m), (new_mapping.n, new_mapping.m)
@@ -384,6 +395,10 @@ class ReshufflerTask(Task):
             return
         self.epoch = epoch
         self.mapping = new_mapping
+        if self._journal is not None:
+            self._journal.log(
+                ("rmap", epoch, (new_mapping.n, new_mapping.m), (old_mapping.n, old_mapping.m))
+            )
         if self.blocking:
             self.buffering = True
         for machine_id in range(self.topology.machines):
@@ -405,6 +420,8 @@ class ReshufflerTask(Task):
     def _handle_ack(self, message: Message, ctx: Context) -> None:
         if not self.is_controller:
             raise ValueError(f"non-controller reshuffler {self.name} received an ack")
+        if self._journal is not None:
+            self._journal.log(("rack",))
         self.acks_received += 1
         if self.acks_received < self.topology.machines:
             return
@@ -593,25 +610,39 @@ class JoinerTask(Task):
         self.bulk_commit = engine_spec.bulk_commit
         self._ends_sent_for: int | None = None
 
+    #: Recovery journal (fault-tolerant plane only; see repro.core.recovery).
+    #: Every state-mutating input — data/µ tuples, signals, end markers,
+    #: finalizes — is journaled as one replayable delta.
+    _journal = None
+
     # -------------------------------------------------------------- handling
 
     def handle(self, message: Message, ctx: Context) -> None:
+        journal = self._journal
         if message.kind is MessageKind.BATCH:
             self._handle_batch(message, ctx)
         elif message.kind is MessageKind.DATA:
+            if journal is not None:
+                journal.log(("data", message.payload))
             actions = self.state.handle_data(message.payload)
             self._apply(actions, message.payload, ctx, migrated=False)
         elif message.kind is MessageKind.MIGRATION:
+            if journal is not None:
+                journal.log(("mu", message.payload))
             actions = self.state.handle_migrated(message.payload)
             self._apply(actions, message.payload, ctx, migrated=True)
         elif message.kind is MessageKind.EPOCH_SIGNAL:
             self._handle_signal(message, ctx)
         elif message.kind is MessageKind.MIGRATION_END:
+            if journal is not None:
+                journal.log(("end", message.meta["sender_machine"]))
             self.state.register_migration_end(message.meta["sender_machine"])
             ctx.charge(0.01)
             self._maybe_finalize(ctx)
         else:
             raise ValueError(f"joiner {self.name} cannot handle {message.kind}")
+        if journal is not None:
+            journal.maybe_snapshot(self)
 
     # ---------------------------------------------------- adaptive data plane
 
@@ -701,7 +732,15 @@ class JoinerTask(Task):
                 if head.index == head.end:
                     inbox.popleft()
                 items.append(message.payload)
+        journal = self._journal
+        if journal is not None:
+            for item in items:
+                journal.log(("data", item))
         actions_list = self.state.handle_data_batch(items)
+        if journal is not None:
+            # The joiner state is fully mutated at this point (the remaining
+            # work is cost accounting), so this is a valid snapshot point.
+            journal.maybe_snapshot(self)
         machine = ctx.machine
         if machine is None:  # pragma: no cover - joiners are always hosted
             for item, actions in zip(items, actions_list):
@@ -849,7 +888,11 @@ class JoinerTask(Task):
         inner = message.meta.get("inner")
         sink: RouteGroups = {}
         apply = self._apply
+        journal = self._journal
         if inner is MessageKind.DATA:
+            if journal is not None:
+                for item in message.payload:
+                    journal.log(("data", item))
             if self.batch_aware:
                 items = list(message.payload)
                 self._apply_data_batch(items, self.state.handle_data_batch(items), ctx, sink)
@@ -860,6 +903,8 @@ class JoinerTask(Task):
         elif inner is MessageKind.MIGRATION:
             handle_migrated = self.state.handle_migrated
             for item in message.payload:
+                if journal is not None:
+                    journal.log(("mu", item))
                 apply(handle_migrated(item), item, ctx, migrated=True, sink=sink)
         else:
             raise ValueError(
@@ -873,6 +918,18 @@ class JoinerTask(Task):
         new_mapping = Mapping(*message.meta["new_mapping"])
         old_mapping = Mapping(*message.meta["old_mapping"])
         plan = self.topology.plan(old_mapping, new_mapping)
+        if self._journal is not None:
+            # One delta reproduces the whole signal effect on replay: the
+            # handler internally re-drains any buffered early messages.
+            self._journal.log(
+                (
+                    "signal",
+                    epoch,
+                    (old_mapping.n, old_mapping.m),
+                    (new_mapping.n, new_mapping.m),
+                    message.sender,
+                )
+            )
         migrations, replayed = self.state.handle_signal(epoch, plan, reshuffler=message.sender)
         ctx.charge(0.01)
         sink: RouteGroups | None = {} if self.batch_size > 1 else None
@@ -885,6 +942,10 @@ class JoinerTask(Task):
             self._flush_migrations(sink, ctx)
         if self.state.phase is JoinerPhase.DRAINED and self._ends_sent_for != epoch:
             self._ends_sent_for = epoch
+            if self._journal is not None:
+                # Replay must not resend the END fanout (the markers are
+                # durably on the wire): restore the sent-for latch instead.
+                self._journal.log(("ends_sent", epoch))
             for receiver in plan.receivers_from(self.machine_id):
                 ctx.send(
                     self.topology.joiner(receiver),
@@ -900,6 +961,8 @@ class JoinerTask(Task):
     def _maybe_finalize(self, ctx: Context) -> None:
         if not self.state.can_finalize():
             return
+        if self._journal is not None:
+            self._journal.log(("final",))
         result = self.state.finalize()
         machine = ctx.machine
         if machine is not None:

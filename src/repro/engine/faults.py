@@ -1,0 +1,139 @@
+"""Deterministic fault injection: crash specifications for the simulator.
+
+A fault schedule is a tuple of :class:`FaultSpec` entries carried on
+:class:`~repro.api.config.RunConfig`.  The simulator executes time-anchored
+faults as ordinary heap events (in a dedicated rank band above machine
+ticks, so equal-time ordering is plane-invariant) and event-anchored faults
+by watching its own event counter — either way, the same schedule under the
+same seed reproduces the same run bit for bit, which is what lets crash
+scenarios live in the conformance suite like any other cell.
+
+The crash model is **fail-stop at handler boundaries**: a crash lands
+between simulator events, so every handler either ran to completion (its
+state mutations are journaled, its sends are durably on the wire) or not at
+all.  A crashed machine loses its in-memory epoch stores and its inbox;
+traffic addressed to it is buffered and retried by the link layer (see
+``Simulator``) rather than silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected machine crash.
+
+    Exactly one of ``at_time`` (virtual-time anchor) and ``after_events``
+    (simulator event-count anchor) must be set.
+
+    Attributes:
+        machine: id of the machine to crash.
+        at_time: virtual time at which the crash fires (as a heap event).
+        after_events: crash as soon as the simulator has processed this many
+            handler events.
+        restart_after: delay, in virtual time after the crash, before a blank
+            replacement machine comes up and recovery starts.  ``None`` means
+            the replacement appears when the coordinator detects the failure,
+            i.e. after one ack timeout (``RunConfig.ack_timeout``).
+    """
+
+    machine: int
+    at_time: float | None = None
+    after_events: int | None = None
+    restart_after: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.machine, int) or isinstance(self.machine, bool):
+            raise ValueError(f"fault machine must be an int, got {self.machine!r}")
+        if self.machine < 0:
+            raise ValueError(f"fault machine must be >= 0, got {self.machine}")
+        anchors = (self.at_time is not None) + (self.after_events is not None)
+        if anchors != 1:
+            raise ValueError(
+                "exactly one of at_time= and after_events= must be set "
+                f"(got at_time={self.at_time!r}, after_events={self.after_events!r})"
+            )
+        if self.at_time is not None:
+            if isinstance(self.at_time, bool) or not isinstance(self.at_time, (int, float)):
+                raise ValueError(f"at_time must be a number, got {self.at_time!r}")
+            if self.at_time < 0:
+                raise ValueError(f"at_time must be >= 0, got {self.at_time}")
+        if self.after_events is not None:
+            if isinstance(self.after_events, bool) or not isinstance(self.after_events, int):
+                raise ValueError(
+                    f"after_events must be an int, got {self.after_events!r}"
+                )
+            if self.after_events < 1:
+                raise ValueError(f"after_events must be >= 1, got {self.after_events}")
+        if self.restart_after is not None:
+            if isinstance(self.restart_after, bool) or not isinstance(
+                self.restart_after, (int, float)
+            ):
+                raise ValueError(
+                    f"restart_after must be a number, got {self.restart_after!r}"
+                )
+            if self.restart_after <= 0:
+                raise ValueError(
+                    f"restart_after must be > 0, got {self.restart_after}"
+                )
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (used by RunConfig JSON round-tripping)."""
+        return {
+            "machine": self.machine,
+            "at_time": self.at_time,
+            "after_events": self.after_events,
+            "restart_after": self.restart_after,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        unknown = set(data) - {"machine", "at_time", "after_events", "restart_after"}
+        if unknown:
+            raise ValueError(f"unknown FaultSpec field(s): {sorted(unknown)}")
+        return cls(**data)
+
+
+def crash(
+    machine: int, at_virtual_time: float, restart_after: float | None = None
+) -> FaultSpec:
+    """Crash ``machine`` at a virtual-time instant."""
+    return FaultSpec(machine=machine, at_time=at_virtual_time, restart_after=restart_after)
+
+
+def crash_after_events(
+    machine: int, events: int, restart_after: float | None = None
+) -> FaultSpec:
+    """Crash ``machine`` as soon as ``events`` simulator events have run."""
+    return FaultSpec(machine=machine, after_events=events, restart_after=restart_after)
+
+
+def normalize_fault_schedule(schedule) -> tuple[FaultSpec, ...]:
+    """Coerce a fault-schedule value into a tuple of :class:`FaultSpec`.
+
+    Accepts FaultSpec instances and plain dicts (the JSON round-trip form);
+    anything else raises with the accepted shapes listed.
+    """
+    if schedule is None:
+        return ()
+    if isinstance(schedule, FaultSpec):
+        schedule = (schedule,)
+    if not isinstance(schedule, (tuple, list)):
+        raise ValueError(
+            "fault_schedule must be a sequence of FaultSpec entries "
+            f"(build them with crash()/crash_after_events()), got {schedule!r}"
+        )
+    normalized = []
+    for entry in schedule:
+        if isinstance(entry, FaultSpec):
+            normalized.append(entry)
+        elif isinstance(entry, dict):
+            normalized.append(FaultSpec.from_dict(entry))
+        else:
+            raise ValueError(
+                "fault_schedule entries must be FaultSpec objects or dicts, "
+                f"got {entry!r}"
+            )
+    return tuple(normalized)

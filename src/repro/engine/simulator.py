@@ -68,6 +68,16 @@ _TICK_RANK_BASE = 1 << 62
 _LINK_SPAN = 1 << 34
 _MACHINE_SPAN = 1 << 12  # > max machines + off-cluster sentinel
 
+# Fault-plane events (crash / restart / link retry) rank above machine ticks:
+# at an equal instant every ordinary event of that time completes first, so a
+# crash always lands *between* handler events (fail-stop at handler
+# boundaries, see repro.engine.faults).  Within the band, restarts order
+# before retries — a retry popping at the restart instant must see the
+# machine alive — and a per-simulator serial breaks remaining ties so heap
+# entries never compare the _FaultEvent payloads themselves.
+_FAULT_RANK_BASE = 1 << 63
+_FAULT_ACTION_OFFSETS = {"crash": 0, "restart": 1, "retry": 2}
+
 #: Heap marker distinguishing a DeliveryRun event from a plain delivery
 #: (``message`` slot) — identity-checked once per pop, like the tick's None.
 _DELIVERY_RUN = object()
@@ -126,6 +136,20 @@ class SettledSegment:
         self.end = end
 
 
+class _FaultEvent:
+    """Heap payload of one fault-plane action targeting a machine id.
+
+    ``action`` is ``"crash"`` (carries the originating
+    :class:`~repro.engine.faults.FaultSpec`), ``"restart"`` or ``"retry"``.
+    """
+
+    __slots__ = ("action", "fault")
+
+    def __init__(self, action: str, fault=None) -> None:
+        self.action = action
+        self.fault = fault
+
+
 class Simulator:
     """Discrete-event simulation of a shared-nothing cluster.
 
@@ -177,6 +201,16 @@ class Simulator:
             {} for _ in range(num_machines + 1)
         ]
         self._pending_wire: list[list] = [[] for _ in range(num_machines)]
+        # Fault plane (install_faults): the recovery manager, the machines
+        # currently down, their buffered-during-outage deliveries, and the
+        # link-layer retry state.  All empty/None on fault-free runs.
+        self._recovery = None
+        self._crashed: set[int] = set()
+        self._crashed_count = 0
+        self._outage: dict[int, list] = {}
+        self._retry_attempts: dict[int, int] = {}
+        self._after_event_faults: list = []
+        self._fault_serial = itertools.count()
         self.now = 0.0
         self.events_processed = 0
         self.heap_events = 0
@@ -212,6 +246,25 @@ class Simulator:
         processes a fraction of the events.
         """
         self._merge_wire = True
+
+    def install_faults(self, recovery) -> None:
+        """Attach the fault-tolerant plane: a recovery manager plus the
+        crash schedule it carries (see :mod:`repro.core.recovery`).
+
+        Time-anchored crashes become heap events in the fault rank band;
+        event-anchored crashes are watched against ``events_processed`` in
+        the run loop.  Installing a manager with an empty schedule is valid —
+        it enables journaling/checkpointing without injecting any fault.
+        """
+        self._recovery = recovery
+        after = []
+        for fault in recovery.schedule:
+            if fault.at_time is not None:
+                self._schedule_fault(fault.at_time, "crash", fault.machine, fault)
+            else:
+                after.append((fault.after_events, fault))
+        after.sort(key=lambda pair: pair[0])
+        self._after_event_faults = after
 
     # ------------------------------------------------------------------ setup
 
@@ -552,11 +605,139 @@ class Simulator:
         self.metrics.record_drained_run(count)
         self.events_processed += 1
 
+    # ------------------------------------------------------------ fault plane
+
+    def _schedule_fault(
+        self, time: float, action: str, machine_id: int, fault=None
+    ) -> None:
+        rank = _FAULT_RANK_BASE + (
+            (_FAULT_ACTION_OFFSETS[action] * _MACHINE_SPAN + machine_id) * (1 << 30)
+            + next(self._fault_serial)
+        )
+        heapq.heappush(
+            self._queue, (time, rank, machine_id, _FaultEvent(action, fault))
+        )
+
+    def _process_fault(self, machine_id: int, event: _FaultEvent, time: float) -> None:
+        if event.action == "crash":
+            self._crash_machine(machine_id, event.fault, time)
+        elif event.action == "restart":
+            self._restart_machine(machine_id, time)
+        else:
+            self._retry_machine(machine_id, time)
+
+    def _crash_machine(self, machine_id: int, fault, time: float) -> None:
+        """Fail-stop ``machine_id``: drop its volatile state, start the outage.
+
+        The inbox (including members inside settled segments) moves to the
+        outage buffer for redelivery at restart; pending wire entries and open
+        channels stay put — the restart tick settles them — and work already
+        accepted (``busy_until``) counts as completed, per the
+        handler-boundary crash model.
+        """
+        if machine_id in self._crashed:
+            raise RuntimeError(
+                f"machine {machine_id} crashed while already down "
+                "(overlapping faults in the schedule)"
+            )
+        self._crashed.add(machine_id)
+        self._crashed_count += 1
+        buffer = self._outage.setdefault(machine_id, [])
+        inbox = self._inboxes[machine_id]
+        for entry in inbox:
+            if entry.__class__ is tuple:
+                buffer.append(("d", entry[0], entry[1]))
+            else:
+                for index in range(entry.index, entry.end):
+                    buffer.append(("d", entry.task, entry.messages[index]))
+        inbox.clear()
+        # Suppress tick scheduling for the duration of the outage; the
+        # restart pushes its own tick.
+        self._tick_scheduled[machine_id] = True
+        recovery = self._recovery
+        recovery.on_crash(machine_id, time)
+        delay = fault.restart_after
+        if delay is None:
+            # Coordinator detects the failure at the ack timeout and brings
+            # up the blank replacement immediately.
+            delay = recovery.ack_timeout
+        self._schedule_fault(time + delay, "restart", machine_id)
+        self._retry_attempts[machine_id] = 0
+        self._schedule_fault(time + recovery.ack_timeout, "retry", machine_id)
+
+    def _restart_machine(self, machine_id: int, time: float) -> None:
+        """Blank replacement up: restore from the checkpoint store, replay the
+        journal, redeliver the outage buffer, resume normal ticking."""
+        self._crashed.discard(machine_id)
+        self._crashed_count -= 1
+        machine = self.machines[machine_id]
+        restore_cost, _replayed = self._recovery.on_restart(machine_id, time)
+        if restore_cost > 0:
+            machine.occupy(time, restore_cost)
+        buffer = self._outage.get(machine_id)
+        if buffer:
+            inbox = self._inboxes[machine_id]
+            for kind, task, message in buffer:
+                if kind == "p":
+                    # Buffered control-plane messages execute first (they
+                    # never queue behind data), serialized after the restore
+                    # work via the machine's busy chain.
+                    self._execute(task, message, max(time, machine.busy_until))
+                else:
+                    inbox.append((task, message))
+            buffer.clear()
+        # _tick_scheduled stayed True through the outage; this tick settles
+        # any wire traffic dated <= now and restarts the normal cycle.
+        self._schedule_tick(machine_id, time)
+
+    def _retry_machine(self, machine_id: int, time: float) -> None:
+        """Link-layer retry timer for traffic addressed to a dead machine."""
+        if machine_id not in self._crashed:
+            return  # machine came back; the timer dissolves
+        attempts = self._retry_attempts.get(machine_id, 0) + 1
+        self._retry_attempts[machine_id] = attempts
+        recovery = self._recovery
+        waiting = bool(self._outage.get(machine_id)) or bool(
+            self._pending_wire[machine_id]
+        )
+        if attempts > recovery.max_retries and waiting:
+            raise RuntimeError(
+                f"machine {machine_id} unreachable after "
+                f"{recovery.max_retries} retries"
+            )
+        self._schedule_fault(
+            time + recovery.ack_timeout * (2 ** attempts), "retry", machine_id
+        )
+
+    def _divert_crashed(
+        self, task: Task, message: Message, time: float, rank: int, machine_id: int
+    ) -> None:
+        """Buffer a delivery addressed to a crashed machine.
+
+        Priority kinds wait in the outage buffer (redelivered first at
+        restart); in-band kinds keep their exact ``(time, rank)`` position —
+        on the merged wire by joining the pending heap next to any parked
+        runs, on the unmerged wire by outage-buffer order, which *is* global
+        ``(time, rank)`` pop order.
+        """
+        if message.kind in PRIORITY_KINDS:
+            self._pending_priority[machine_id].remove(time)
+            self._outage[machine_id].append(("p", task, message))
+        elif self._merge_wire:
+            heapq.heappush(
+                self._pending_wire[machine_id], (time, rank, None, task, message)
+            )
+        else:
+            self._outage[machine_id].append(("d", task, message))
+
     def _deliver(self, task: Task, message: Message, time: float, rank: int = 0) -> None:
         machine = task.hosted_machine
         if machine is None:
             # Off-cluster tasks are handled at delivery time.
             self._execute(task, message, time)
+            return
+        if self._crashed_count and machine.machine_id in self._crashed:
+            self._divert_crashed(task, message, time, rank, machine.machine_id)
             return
         if message.kind in PRIORITY_KINDS:
             # Control-plane messages skip the data backlog but still need the
@@ -677,6 +858,10 @@ class Simulator:
             heapq.heappush(self._queue, (entry[0], entry[1], run, _DELIVERY_RUN))
 
     def _tick(self, machine_id: int, time: float) -> None:
+        if self._crashed_count and machine_id in self._crashed:
+            # Stale tick popping during an outage: swallow it and leave
+            # _tick_scheduled True — the restart pushes the reviving tick.
+            return
         merging = self._merge_wire
         if merging and self._pending_wire[machine_id]:
             self._settle(machine_id, time)
@@ -745,6 +930,7 @@ class Simulator:
         """
         queue = self._queue
         heap_events = self.heap_events
+        after_faults = self._after_event_faults
         try:
             while queue:
                 time, rank, target, message = heapq.heappop(queue)
@@ -755,8 +941,14 @@ class Simulator:
                     self._tick(target, time)
                 elif message is _DELIVERY_RUN:
                     self._deliver_run(target, time)
+                elif message.__class__ is _FaultEvent:
+                    self._process_fault(target, message, time)
                 else:
                     self._deliver(target, message, time, rank)
+                if after_faults and self.events_processed >= after_faults[0][0]:
+                    while after_faults and self.events_processed >= after_faults[0][0]:
+                        fault = after_faults.pop(0)[1]
+                        self._crash_machine(fault.machine, fault, self.now)
                 if max_events is not None and self.events_processed > max_events:
                     raise RuntimeError(
                         f"simulation exceeded {max_events} events; possible signalling loop"

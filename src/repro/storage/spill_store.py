@@ -16,6 +16,15 @@ class SpillStore(MemoryStore):
     disk dominate execution time is reproduced by feeding this factor into the
     machine cost model.
 
+    Tuples can additionally be tagged into named *partitions* (the epoch
+    protocol's Keep/Drop/Δ'/µ sub-stores) and a whole partition dropped at
+    once at FinalizeMigration time.  ``spilled_size`` is maintained
+    incrementally — not recomputed per access — and a wholesale drop settles
+    the counter against the tuples actually removed, so interleaving
+    individual removals (migrations) with partition drops (finalize) cannot
+    drift the accounting (pinned against a manual count in
+    ``tests/test_storage.py``).
+
     Args:
         capacity: memory budget in tuple size units; ``None`` disables
             spilling.
@@ -27,6 +36,8 @@ class SpillStore(MemoryStore):
         self.capacity = capacity
         self.penalty = penalty
         self.spill_events = 0
+        self._spilled_size = 0.0
+        self._partitions: dict[object, dict[int, StreamTuple]] = {}
 
     @property
     def is_spilled(self) -> bool:
@@ -36,17 +47,72 @@ class SpillStore(MemoryStore):
     @property
     def spilled_size(self) -> float:
         """Amount of stored data beyond the memory budget."""
-        if self.capacity is None:
-            return 0.0
-        return max(0.0, self.size - self.capacity)
+        return self._spilled_size
 
-    def add(self, item: StreamTuple) -> float:
-        """Store ``item``; returns the access cost factor (1.0 or the penalty)."""
+    def _settle_spilled(self, previous_size: float) -> None:
+        """Fold one size change into the incremental spilled counter."""
+        if self.capacity is None:
+            self._spilled_size = 0.0
+            return
+        if self.size >= previous_size:  # grew: spill the part beyond the budget
+            self._spilled_size += self.size - max(previous_size, self.capacity)
+        else:  # shrank: unspill what dropped back under the budget
+            self._spilled_size -= previous_size - max(self.size, self.capacity)
+        if self._spilled_size < 0.0:
+            self._spilled_size = 0.0
+
+    def add(self, item: StreamTuple, tag: object | None = None) -> float:
+        """Store ``item`` (optionally under partition ``tag``); returns the
+        access cost factor (1.0 or the penalty)."""
+        previous = self.size
         super().add(item)
+        self._settle_spilled(previous)
+        if tag is not None:
+            self._partitions.setdefault(tag, {})[item.tuple_id] = item
         if self.is_spilled:
             self.spill_events += 1
             return self.penalty
         return 1.0
+
+    def remove(self, item: StreamTuple) -> bool:
+        """Remove ``item`` if present; returns True when something was removed."""
+        previous = self.size
+        removed = super().remove(item)
+        if removed:
+            self._settle_spilled(previous)
+            for members in self._partitions.values():
+                members.pop(item.tuple_id, None)
+        return removed
+
+    def partition_size(self, tag: object) -> float:
+        """Current total size of the live tuples tagged ``tag``."""
+        members = self._partitions.get(tag)
+        if not members:
+            return 0.0
+        return sum(item.size for item in members.values() if self.contains(item))
+
+    def drop_partition(self, tag: object) -> float:
+        """Drop every tuple of partition ``tag`` wholesale; returns the freed
+        size.  Settles the spilled counter against the tuples actually removed
+        (a tuple already removed individually — e.g. migrated away after being
+        tagged — frees nothing)."""
+        members = self._partitions.pop(tag, None)
+        if not members:
+            return 0.0
+        previous = self.size
+        for item in members.values():
+            if MemoryStore.remove(self, item):
+                for other in self._partitions.values():
+                    other.pop(item.tuple_id, None)
+        freed = previous - self.size
+        self._settle_spilled(previous)
+        return freed
+
+    def clear(self) -> None:
+        """Drop everything."""
+        super().clear()
+        self._partitions.clear()
+        self._spilled_size = 0.0
 
     def access_factor(self) -> float:
         """Cost factor for probing/maintaining state in its current condition."""

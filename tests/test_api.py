@@ -21,8 +21,11 @@ import random
 import pytest
 
 from repro.api import (
+    FaultSpec,
     JoinSession,
     RunConfig,
+    crash,
+    crash_after_events,
     build_operator,
     operators,
     predicate_kinds,
@@ -175,6 +178,70 @@ class TestBatchingKnobs:
         assert result.batching == "adaptive"
         assert result.batch_histogram
         assert result.output_count > 0
+
+
+class TestRecoveryKnobs:
+    """Error paths and serialisation of the fault-tolerance configuration."""
+
+    def test_fault_schedule_json_round_trip(self):
+        config = RunConfig(
+            machines=8,
+            fault_schedule=[
+                crash(3, 12.5),
+                crash_after_events(1, 400, restart_after=2.0),
+            ],
+            checkpoint_interval=50,
+            ack_timeout=2.5,
+            max_retries=3,
+        )
+        assert RunConfig.from_json(config.to_json()) == config
+        as_dict = config.to_dict()
+        assert as_dict["checkpoint_interval"] == 50
+        assert as_dict["fault_schedule"][0]["machine"] == 3
+        assert RunConfig.from_dict(as_dict) == config
+
+    def test_schedule_normalised_to_fault_specs(self):
+        config = RunConfig(
+            machines=8, fault_schedule=[{"machine": 2, "after_events": 100}]
+        )
+        assert isinstance(config.fault_schedule, tuple)
+        assert all(isinstance(f, FaultSpec) for f in config.fault_schedule)
+
+    def test_fault_machine_out_of_range_lists_choices(self):
+        with pytest.raises(ValueError, match="choices: 0..7"):
+            RunConfig(machines=8, fault_schedule=[crash(8, 1.0)])
+
+    def test_faults_rejected_on_blocking_protocol(self):
+        with pytest.raises(ValueError, match="non-blocking"):
+            RunConfig(machines=8, blocking=True, fault_schedule=[crash(0, 1.0)])
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"fault_schedule": [{"machine": -1, "at_time": 1.0}]},
+            {"fault_schedule": [{"machine": 0}]},  # no anchor
+            {"fault_schedule": [{"machine": 0, "at_time": 1.0, "after_events": 5}]},
+            {"fault_schedule": [{"machine": 0, "at_time": -1.0}]},
+            {"fault_schedule": [{"machine": 0, "after_events": 0}]},
+            {"fault_schedule": [{"machine": 0, "at_time": 1.0, "restart_after": 0}]},
+            {"fault_schedule": 7},
+            {"checkpoint_interval": 0},
+            {"checkpoint_interval": -5},
+            {"checkpoint_interval": 2.5},
+            {"ack_timeout": 0.0},
+            {"ack_timeout": -1.0},
+            {"max_retries": -1},
+            {"max_retries": 1.5},
+        ],
+    )
+    def test_invalid_recovery_values_rejected(self, overrides):
+        with pytest.raises((ValueError, TypeError)):
+            RunConfig(machines=8, **overrides)
+
+    def test_checkpointing_without_faults_is_valid(self):
+        config = RunConfig(machines=8, checkpoint_interval=25)
+        assert config.fault_schedule == ()
+        assert RunConfig.from_dict(config.to_dict()) == config
 
 
 # ---------------------------------------------------------------------------

@@ -75,3 +75,57 @@ class TestSpillStore:
         assert store.is_spilled
         store.remove(items[1])
         assert not store.is_spilled
+
+    def test_spilled_size_never_drifts_under_interleaving(self):
+        """Incremental spilled accounting equals the closed-form recompute
+        after every operation in an interleaved add/remove/drop sequence."""
+        store = SpillStore(capacity=5.0)
+        items = _tuples("R", 12, size=1.5)
+
+        def check():
+            expected = max(0.0, store.size - store.capacity)
+            assert store.spilled_size == pytest.approx(expected)
+
+        for i, item in enumerate(items):
+            store.add(item, tag="mu" if i % 3 == 0 else "keep")
+            check()
+        for item in items[1:6]:  # individual removals (migrate-away)
+            store.remove(item)
+            check()
+        store.drop_partition("mu")  # wholesale drop (finalize)
+        check()
+        store.drop_partition("keep")
+        check()
+        assert store.spilled_size == 0.0
+
+    def test_drop_partition_settles_against_tuples_actually_removed(self):
+        """A tuple removed individually after being tagged frees nothing when
+        its partition is later dropped — the counter must not double-credit."""
+        store = SpillStore(capacity=2.0)
+        items = _tuples("R", 6)
+        for item in items[:4]:
+            store.add(item, tag="drop")
+        for item in items[4:]:
+            store.add(item, tag="keep")
+        assert store.spilled_size == pytest.approx(4.0)
+        # Migrate two tagged tuples away individually, then finalize the drop.
+        store.remove(items[0])
+        store.remove(items[1])
+        assert store.spilled_size == pytest.approx(2.0)
+        assert store.drop_partition("drop") == pytest.approx(2.0)
+        assert store.size == pytest.approx(2.0)
+        assert store.spilled_size == 0.0
+        assert not store.is_spilled
+
+    def test_partition_size_tracks_live_members(self):
+        store = SpillStore(capacity=None)
+        items = _tuples("R", 3, size=2.0)
+        for item in items:
+            store.add(item, tag="delta")
+        assert store.partition_size("delta") == pytest.approx(6.0)
+        store.remove(items[0])
+        assert store.partition_size("delta") == pytest.approx(4.0)
+        assert store.partition_size("missing") == 0.0
+        store.drop_partition("delta")
+        assert store.partition_size("delta") == 0.0
+        assert len(store) == 0
