@@ -28,10 +28,12 @@ from repro.api.registry import (
     PredicateKind,
     Registry,
     batch_controllers,
+    executors,
     operators,
     predicate_kinds,
     probe_engines,
     register_batch_controller,
+    register_executor,
     register_operator,
     register_predicate,
     register_probe_engine,
@@ -51,10 +53,12 @@ __all__ = [
     "build_operator",
     "crash",
     "crash_after_events",
+    "executors",
     "operators",
     "predicate_kinds",
     "probe_engines",
     "register_batch_controller",
+    "register_executor",
     "register_operator",
     "register_predicate",
     "register_probe_engine",

@@ -24,12 +24,13 @@ import json
 from dataclasses import dataclass
 from typing import Any
 
-# Importing the built-in engine/predicate/batching registrations; keeps
-# validation meaningful even when repro.api.config is imported before the
-# rest of repro.
+# Importing the built-in engine/predicate/batching/executor registrations;
+# keeps validation meaningful even when repro.api.config is imported before
+# the rest of repro.
 import repro.engine.batching  # noqa: F401  (populates the batch-controller registry)
+import repro.engine.executor  # noqa: F401  (populates the executor registry)
 import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
-from repro.api.registry import LAYOUTS, batch_controllers, probe_engines
+from repro.api.registry import LAYOUTS, batch_controllers, executors, probe_engines
 from repro.engine.columns import HAS_NUMPY, NUMPY_HINT
 from repro.engine.faults import FaultSpec, normalize_fault_schedule
 
@@ -101,6 +102,21 @@ class RunConfig:
         max_retries: link-layer retry attempts (with doubling backoff) for
             traffic addressed to a crashed machine before the run fails with
             an unreachable-machine error.
+        executor: execution backend; must name a registered executor.
+            ``"simulated"`` (default) is the single-threaded virtual-time
+            simulator — the conformance oracle.  ``"threads"`` runs each
+            machine's handlers on a worker thread with shared-nothing
+            inbound queues behind the simulator's deterministic ``(time,
+            rank)`` merge order: outputs, migrations and every virtual-time
+            quantity are bit-identical to the oracle (pinned by
+            ``tests/test_executor_conformance.py``); only wall-clock-derived
+            stats differ.  Not yet compatible with ``fault_schedule`` /
+            ``checkpoint_interval`` (recovery is pinned to the simulated
+            backend until it is ported).
+        num_workers: worker threads of a parallel executor; ``None`` (the
+            default) means one worker per machine.  Rejected for
+            non-parallel executors (the ``"simulated"`` backend has no
+            workers to size).
     """
 
     machines: int = 16
@@ -122,6 +138,8 @@ class RunConfig:
     checkpoint_interval: int | None = None
     ack_timeout: float = 5.0
     max_retries: int = 5
+    executor: str = "simulated"
+    num_workers: int | None = None
 
     # ------------------------------------------------------------- validation
 
@@ -145,6 +163,8 @@ class RunConfig:
             ("checkpoint_interval", self.checkpoint_interval, int, True),
             ("ack_timeout", self.ack_timeout, (int, float), False),
             ("max_retries", self.max_retries, int, False),
+            ("executor", self.executor, str, False),
+            ("num_workers", self.num_workers, int, True),
         )
         for name, value, types, optional in expectations:
             if optional and value is None:
@@ -252,6 +272,38 @@ class RunConfig:
             raise ValueError(f"ack_timeout must be > 0, got {self.ack_timeout}")
         if self.max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.executor not in executors:
+            raise ValueError(
+                f"unknown executor {self.executor!r}; registered choices: "
+                f"{', '.join(executors.names())}"
+            )
+        executor_class = executors.get(self.executor)
+        if not getattr(executor_class, "parallel", False):
+            if self.num_workers is not None:
+                raise ValueError(
+                    f"num_workers is a parallel-executor knob; "
+                    f"executor={self.executor!r} runs single-threaded "
+                    '(use executor="threads" to size a worker fleet)'
+                )
+        else:
+            if self.num_workers is not None and self.num_workers < 1:
+                raise ValueError(
+                    f"num_workers must be >= 1 or None, got {self.num_workers}"
+                )
+            if self.fault_schedule:
+                raise ValueError(
+                    f"executor={self.executor!r} does not support fault "
+                    "injection yet: crash scheduling and journal replay are "
+                    "pinned to the simulated oracle until recovery is ported "
+                    '— drop fault_schedule or use executor="simulated"'
+                )
+            if self.checkpoint_interval is not None:
+                raise ValueError(
+                    f"executor={self.executor!r} does not support durable "
+                    "checkpointing yet: the SQLite journal is bound to the "
+                    "coordinator thread — drop checkpoint_interval or use "
+                    'executor="simulated"'
+                )
 
     # -------------------------------------------------------------- overrides
 

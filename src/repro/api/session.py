@@ -120,7 +120,7 @@ class _StreamingRun:
 
     def __init__(self, operator: "GridJoinOperator", collect_outputs: bool = False) -> None:
         self.operator = operator
-        self.simulator, self.topology = operator.build_simulation(
+        self.simulator, self.topology = operator.build_execution(
             collect_outputs=collect_outputs
         )
         self.batch_size = operator.batch_size

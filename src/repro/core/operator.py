@@ -20,7 +20,7 @@ import random
 from typing import Sequence
 
 from repro.api.config import RunConfig
-from repro.api.registry import batch_controllers, register_operator
+from repro.api.registry import batch_controllers, executors, register_operator
 from repro.core.decision import MigrationController
 from repro.core.mapping import Mapping, is_power_of_two, optimal_mapping, square_mapping
 from repro.core.recovery import RecoveryManager
@@ -159,6 +159,12 @@ class GridJoinOperator:
         self._fault_plane = (
             bool(config.fault_schedule) or config.checkpoint_interval is not None
         )
+        # The executor backend the run executes on.  "simulated" (default) is
+        # the virtual-time oracle; parallel backends ("threads") reproduce it
+        # bit-identically behind the same (time, rank) merge order and only
+        # add wall-clock-derived stats.  The class was validated by RunConfig.
+        self.executor_name = config.executor
+        self._executor = executors.get(config.executor).from_config(config)
 
     # ------------------------------------------------------------------ build
 
@@ -240,17 +246,22 @@ class GridJoinOperator:
         )
         return left, right
 
-    def build_simulation(
+    def build_execution(
         self, collect_outputs: bool = False, expected_inputs: int = 0
     ) -> tuple[Simulator, Topology]:
-        """A fresh simulator with the operator's topology registered, no input fed.
+        """A fresh execution substrate with the topology registered, no input fed.
 
-        This is the half of :meth:`run` the streaming session facade reuses:
+        The substrate comes from the configured executor backend
+        (``config.executor``): the virtual-time :class:`Simulator` for
+        ``"simulated"``, a worker-thread-backed subclass for ``"threads"`` —
+        everything registered on it (topology, batching plane, merged wire,
+        fault plane) is executor-agnostic.  This is the half of :meth:`run`
+        the streaming session facade reuses:
         :meth:`repro.api.session.JoinSession.push` feeds arrivals into the
-        returned simulator incrementally and finally calls
+        returned substrate incrementally and finally calls
         :meth:`collect_result` on it.
         """
-        simulator = Simulator(
+        simulator = self._executor.build_simulator(
             num_machines=self.machines,
             cost_model=self.cost_model,
             seed=self.seed,
@@ -281,6 +292,11 @@ class GridJoinOperator:
             manager.attach_journals(simulator)
             simulator.install_faults(manager)
         return simulator, topology
+
+    #: Pre-executor-plane name of :meth:`build_execution`, kept as an alias
+    #: for external callers ("simulation" stopped being accurate the moment
+    #: a backend could run real worker threads).
+    build_simulation = build_execution
 
     def run(
         self,
@@ -318,7 +334,7 @@ class GridJoinOperator:
             order = list(arrival_order)
         expected_inputs = len(order)
 
-        simulator, topology = self.build_simulation(
+        simulator, topology = self.build_execution(
             collect_outputs=collect_outputs, expected_inputs=expected_inputs
         )
 
@@ -399,6 +415,18 @@ class GridJoinOperator:
             cardinality_series=list(metrics.competitive_series),
             progress_series=metrics.progress_fraction_series(expected_inputs),
             outputs=list(metrics.outputs) if metrics.collect_outputs else None,
+            executor=self.executor_name,
+            wall_time=simulator.wall_time,
+            worker_wall=(
+                list(simulator.worker_wall)
+                if hasattr(simulator, "worker_wall")
+                else None
+            ),
+            worker_events=(
+                list(simulator.worker_events)
+                if hasattr(simulator, "worker_events")
+                else None
+            ),
             faults_injected=faults_injected,
             recovery_time=recovery_time,
             tuples_replayed=tuples_replayed,

@@ -64,6 +64,15 @@ class RunResult:
         progress_series: (fraction of input processed, virtual time) samples.
         outputs: matched (left_tuple_id, right_tuple_id) pairs when output
             collection was requested (tests only).
+        executor: execution backend the run used ("simulated" or "threads").
+            Every deterministic quantity above is backend-invariant (pinned
+            by the executor conformance suite); the three fields below are
+            the wall-clock-derived stats that legitimately differ.
+        wall_time: real seconds spent inside the execution loop.
+        worker_wall: per-worker real seconds spent inside task handlers
+            (parallel executors only; None on the simulated backend).
+        worker_events: per-worker handler invocation counts (parallel
+            executors only; None on the simulated backend).
         faults_injected: number of machine crashes the fault schedule injected.
         recovery_time: total virtual time spent recovering — per crash, the
             outage window (crash to restart) plus the restore cost of
@@ -107,6 +116,10 @@ class RunResult:
     cardinality_series: list[tuple[int, float]] = field(default_factory=list)
     progress_series: list[tuple[float, float]] = field(default_factory=list)
     outputs: list[tuple[int, int]] | None = None
+    executor: str = "simulated"
+    wall_time: float = 0.0
+    worker_wall: list[float] | None = None
+    worker_events: list[int] | None = None
     faults_injected: int = 0
     recovery_time: float = 0.0
     tuples_replayed: int = 0
@@ -129,4 +142,5 @@ class RunResult:
             "spilled": self.spilled,
             "final_mapping": str(self.final_mapping),
             "events_processed": self.events_processed,
+            "executor": self.executor,
         }

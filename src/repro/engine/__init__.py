@@ -17,6 +17,12 @@ from repro.engine.batching import (
     BatchController,
     FixedBatchController,
 )
+from repro.engine.executor import (
+    Executor,
+    SimulatedExecutor,
+    ThreadedExecutor,
+    ThreadedSimulator,
+)
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import LatencySample, MetricsCollector
 from repro.engine.network import Network, TrafficCategory
@@ -32,6 +38,7 @@ __all__ = [
     "CostModel",
     "DataEnvelope",
     "DeliveryRun",
+    "Executor",
     "FixedBatchController",
     "LatencySample",
     "Machine",
@@ -39,9 +46,12 @@ __all__ = [
     "MessageKind",
     "MetricsCollector",
     "Network",
+    "SimulatedExecutor",
     "Simulator",
     "StreamTuple",
     "Task",
+    "ThreadedExecutor",
+    "ThreadedSimulator",
     "TrafficCategory",
     "interleave_streams",
 ]

@@ -1,0 +1,386 @@
+"""The executor plane: strategy backends that run a registered topology.
+
+Every plane shipped before this module (batched, adaptive, wire-merged,
+columnar, fault-tolerant) executed on one single-threaded virtual-time
+:class:`~repro.engine.simulator.Simulator` — the system *modelled* a cluster
+but was not one.  The executor plane is the seam between those two worlds:
+
+* :class:`SimulatedExecutor` (``executor="simulated"``, the default) is the
+  existing simulator, unchanged — it remains the conformance oracle for
+  every other backend.
+* :class:`ThreadedExecutor` (``executor="threads"``) is a real-clock backend:
+  each :class:`~repro.engine.machine.Machine` is owned by a worker thread
+  with a shared-nothing inbound queue, and task handlers — the reshuffle,
+  probe and store work — execute on the owning worker, not on the
+  coordinator.  Outputs, migration decisions and every virtual-time quantity
+  are bit-identical to the simulator oracle; only wall-clock-derived stats
+  (:attr:`Simulator.wall_time`, the per-worker ``worker_wall`` /
+  ``worker_events`` breakdown) differ between backends.
+
+Determinism argument
+--------------------
+
+The simulator's event metadata is already exactly what a parallel backend
+needs to stay deterministic:
+
+1. every (sender machine, destination task) link is FIFO and carries a
+   monotone per-link sequence number, and
+2. every event is keyed by the plane-invariant ``(time, rank)`` pair — a pure
+   function of the message flow, never of the wall-clock order in which
+   handlers happened to run (see :mod:`repro.engine.simulator`).
+
+Those two facts give each receiver a total merge order over its inbound
+channels, and the union of the per-receiver orders is the global ``(time,
+rank)`` heap order.  The threaded backend therefore keeps the heap as its
+**conservative dispatch frontier**: the coordinator pops events in ``(time,
+rank)`` order and hands each machine-hosted handler to the worker that owns
+the machine, blocking until the handler completes before advancing the
+frontier.  The frontier is currently *sequentially consistent* (one handler
+in flight at a time) because handlers share one simulation-wide RNG and the
+per-link rank counters — the next widening step is splitting those per
+machine so that handlers below the lookahead horizon (one network latency)
+can overlap; the ownership and queue plumbing here already supports it.
+
+Ownership is shared-nothing: a machine's tasks, stores and inbox are touched
+only by its owning worker while a handler runs, and only by the coordinator
+(delivery, settle, tick bookkeeping) while no handler is in flight on that
+machine.  The hand-off points are the workers' queues, whose internal locks
+order memory between the two sides.
+
+Robustness: a handler that raises or never returns must never hang the run.
+Dispatch waits are bounded by ``worker_timeout``; on expiry the coordinator
+raises a :class:`RuntimeError` naming the stuck machine and its queue
+depths, and a handler exception is re-raised wrapped the same way (with the
+original as ``__cause__``).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from repro.api.registry import register_executor
+from repro.engine.machine import CostModel
+from repro.engine.simulator import Simulator
+from repro.engine.task import Message, Task
+
+#: Bound on any single coordinator wait for a worker: handler completion at
+#: dispatch, thread exit at shutdown.  Generous — virtual-time handlers run
+#: in microseconds; anything near this bound is a deadlocked or poisoned
+#: handler, and surfacing it beats hanging CI forever.
+DEFAULT_WORKER_TIMEOUT = 60.0
+
+#: Sentinel asking a worker thread to exit its loop.
+_SHUTDOWN = object()
+
+#: Completion token of a successfully executed handler (exceptions travel as
+#: themselves).
+_DONE = object()
+
+
+class Executor:
+    """Strategy interface: how a registered topology's handlers execute.
+
+    An executor builds the :class:`Simulator` (or subclass) an operator run
+    executes on; everything else — topology registration, feeding, result
+    harvesting — is executor-agnostic and stays in
+    :meth:`repro.core.operator.GridJoinOperator.build_execution`.
+
+    Class attributes:
+        name: the registry name (``RunConfig.executor`` values).
+        parallel: whether the backend accepts the ``num_workers`` knob.
+    """
+
+    name = "?"
+    parallel = False
+
+    @classmethod
+    def from_config(cls, config) -> "Executor":
+        """Build an executor instance from a :class:`~repro.api.config.RunConfig`.
+
+        The base implementation takes no knobs; parallel backends override
+        this to pick up ``num_workers``.
+        """
+        return cls()
+
+    def build_simulator(
+        self,
+        *,
+        num_machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        collect_outputs: bool = False,
+    ) -> Simulator:
+        """A fresh execution substrate for one run.  Implemented by backends."""
+        raise NotImplementedError
+
+
+class SimulatedExecutor(Executor):
+    """The default backend: the single-threaded virtual-time simulator.
+
+    This is the conformance oracle every other backend is pinned against —
+    semantics are exactly those of the pre-executor-plane ``Simulator``.
+    """
+
+    name = "simulated"
+
+    def build_simulator(
+        self,
+        *,
+        num_machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        collect_outputs: bool = False,
+    ) -> Simulator:
+        return Simulator(
+            num_machines=num_machines,
+            cost_model=cost_model,
+            seed=seed,
+            collect_outputs=collect_outputs,
+        )
+
+
+class _MachineWorker(threading.Thread):
+    """One worker thread owning a disjoint set of machines.
+
+    The worker consumes ``(function, args)`` work items from its private
+    ``inbound`` queue (shared-nothing: no other thread ever reads it),
+    executes them, and reports per-item completion on ``completions`` —
+    either the :data:`_DONE` token or the raised exception.  A raising
+    handler does not kill the thread: the loop keeps serving so shutdown
+    stays orderly; the coordinator aborts the run instead.
+    """
+
+    def __init__(self, worker_id: int, machine_ids: tuple[int, ...]) -> None:
+        super().__init__(name=f"repro-executor-worker-{worker_id}", daemon=True)
+        self.worker_id = worker_id
+        self.machine_ids = machine_ids
+        self.inbound: queue.SimpleQueue = queue.SimpleQueue()
+        self.completions: queue.SimpleQueue = queue.SimpleQueue()
+        self.wall_time = 0.0
+        self.handlers_run = 0
+
+    def run(self) -> None:  # pragma: no cover - exercised via ThreadedSimulator
+        get = self.inbound.get
+        put = self.completions.put
+        clock = time.perf_counter
+        while True:
+            item = get()
+            if item is _SHUTDOWN:
+                return
+            function, args = item
+            begin = clock()
+            try:
+                function(*args)
+            except BaseException as exc:  # noqa: BLE001 - shipped to coordinator
+                self.wall_time += clock() - begin
+                put(exc)
+            else:
+                self.wall_time += clock() - begin
+                self.handlers_run += 1
+                put(_DONE)
+
+
+class ThreadedSimulator(Simulator):
+    """Real-clock backend: machine-hosted handlers run on worker threads.
+
+    Scheduling, delivery, wire settling and the fault plane stay on the
+    coordinator (this object's :meth:`run` loop); the two handler execution
+    points — :meth:`_execute` and :meth:`_execute_drained` — dispatch to the
+    worker owning the target machine and block until completion, so the
+    global ``(time, rank)`` order of handler executions is exactly the
+    simulator oracle's and every virtual-time quantity is bit-identical.
+    Off-cluster tasks (sources, collectors) have no machine to own them and
+    execute on the coordinator, as before.
+
+    Args:
+        num_workers: worker threads to spawn; defaults to one per machine.
+            Fewer workers than machines assigns machines round-robin — each
+            machine still has exactly one owning worker, so the
+            shared-nothing ownership discipline is unchanged.
+        worker_timeout: bound (in real seconds) on any single wait for a
+            worker; see the module docstring's robustness contract.
+    """
+
+    def __init__(
+        self,
+        num_machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        collect_outputs: bool = False,
+        num_workers: int | None = None,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        super().__init__(
+            num_machines=num_machines,
+            cost_model=cost_model,
+            seed=seed,
+            collect_outputs=collect_outputs,
+        )
+        if num_workers is None:
+            num_workers = max(1, num_machines)
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if worker_timeout <= 0:
+            raise ValueError(f"worker_timeout must be > 0, got {worker_timeout}")
+        # More workers than machines would leave idle threads with no
+        # machines to own; clamp silently (a 4-machine run with the default
+        # 8-worker config is not an error).
+        self.num_workers = min(num_workers, num_machines) if num_machines else 1
+        self.worker_timeout = worker_timeout
+        #: machine id -> worker index (round-robin ownership).
+        self._owner = [i % self.num_workers for i in range(num_machines)]
+        self._workers: list[_MachineWorker] | None = None
+        #: Cumulative per-worker handler wall-clock seconds / handler counts,
+        #: carried across runs (streaming pushes re-enter :meth:`run`).
+        self.worker_wall = [0.0] * self.num_workers
+        self.worker_events = [0] * self.num_workers
+
+    # -------------------------------------------------------- worker lifecycle
+
+    def _start_workers(self) -> None:
+        workers = []
+        for worker_id in range(self.num_workers):
+            owned = tuple(
+                machine_id
+                for machine_id, owner in enumerate(self._owner)
+                if owner == worker_id
+            )
+            worker = _MachineWorker(worker_id, owned)
+            worker.start()
+            workers.append(worker)
+        self._workers = workers
+
+    def _stop_workers(self, graceful: bool) -> None:
+        workers, self._workers = self._workers, None
+        if workers is None:
+            return
+        stuck = []
+        for worker in workers:
+            worker.inbound.put(_SHUTDOWN)
+        for worker in workers:
+            # On the error path (a handler raised or timed out) a worker may
+            # be wedged mid-handler and never see the sentinel; it is a
+            # daemon thread, so a short best-effort join must not mask the
+            # original error with a second one.
+            worker.join(timeout=self.worker_timeout if graceful else 0.1)
+            self.worker_wall[worker.worker_id] += worker.wall_time
+            self.worker_events[worker.worker_id] += worker.handlers_run
+            if worker.is_alive():
+                stuck.append(worker)
+        if graceful and stuck:
+            names = ", ".join(
+                f"worker {w.worker_id} (machines {list(w.machine_ids)})" for w in stuck
+            )
+            raise RuntimeError(
+                f"threaded executor: {names} failed to shut down within "
+                f"{self.worker_timeout}s"
+            )
+
+    # ------------------------------------------------------------- dispatching
+
+    def _run_on_worker(self, machine_id: int, function, args) -> None:
+        """Execute ``function(*args)`` on the worker owning ``machine_id``,
+        blocking until it completes (the conservative dispatch frontier)."""
+        worker = self._workers[self._owner[machine_id]]
+        worker.inbound.put((function, args))
+        try:
+            outcome = worker.completions.get(timeout=self.worker_timeout)
+        except queue.Empty:
+            raise RuntimeError(
+                f"threaded executor: machine {machine_id} is stuck — its worker "
+                f"(worker {worker.worker_id}) did not finish a handler within "
+                f"{self.worker_timeout}s; worker queue depth "
+                f"{worker.inbound.qsize()}, machine inbox depth "
+                f"{len(self._inboxes[machine_id])}"
+            ) from None
+        if outcome is not _DONE:
+            raise RuntimeError(
+                f"threaded executor: machine {machine_id} worker died in a task "
+                f"handler: {outcome!r}; worker queue depth "
+                f"{worker.inbound.qsize()}, machine inbox depth "
+                f"{len(self._inboxes[machine_id])}"
+            ) from outcome
+
+    def _execute(self, task: Task, message: Message, start: float) -> None:
+        if task.hosted_machine is None or self._workers is None:
+            # Off-cluster tasks have no owning machine; handlers reached
+            # outside run() (none today) fall back to inline execution.
+            Simulator._execute(self, task, message, start)
+            return
+        self._run_on_worker(
+            task.machine_id, Simulator._execute, (self, task, message, start)
+        )
+
+    def _execute_drained(
+        self, task, first, inbox, limit, key, start, event_time, machine_id
+    ) -> None:
+        if self._workers is None:
+            Simulator._execute_drained(
+                self, task, first, inbox, limit, key, start, event_time, machine_id
+            )
+            return
+        self._run_on_worker(
+            machine_id,
+            Simulator._execute_drained,
+            (self, task, first, inbox, limit, key, start, event_time, machine_id),
+        )
+
+    # ----------------------------------------------------------------- running
+
+    def run(self, max_events: int | None = None) -> float:
+        """Run to quiescence with the worker fleet up.
+
+        Workers live for the duration of one :meth:`run` call (streaming
+        ingestion re-enters run() per push and gets a fresh fleet; the
+        cumulative ``worker_wall`` / ``worker_events`` stats carry across).
+        """
+        self._start_workers()
+        try:
+            result = super().run(max_events=max_events)
+        except BaseException:
+            self._stop_workers(graceful=False)
+            raise
+        self._stop_workers(graceful=True)
+        return result
+
+
+class ThreadedExecutor(Executor):
+    """``executor="threads"``: the real-clock worker-thread backend."""
+
+    name = "threads"
+    parallel = True
+
+    def __init__(
+        self,
+        num_workers: int | None = None,
+        worker_timeout: float = DEFAULT_WORKER_TIMEOUT,
+    ) -> None:
+        self.num_workers = num_workers
+        self.worker_timeout = worker_timeout
+
+    @classmethod
+    def from_config(cls, config) -> "ThreadedExecutor":
+        return cls(num_workers=config.num_workers)
+
+    def build_simulator(
+        self,
+        *,
+        num_machines: int,
+        cost_model: CostModel | None = None,
+        seed: int = 0,
+        collect_outputs: bool = False,
+    ) -> ThreadedSimulator:
+        return ThreadedSimulator(
+            num_machines=num_machines,
+            cost_model=cost_model,
+            seed=seed,
+            collect_outputs=collect_outputs,
+            num_workers=self.num_workers,
+            worker_timeout=self.worker_timeout,
+        )
+
+
+register_executor("simulated", SimulatedExecutor)
+register_executor("threads", ThreadedExecutor)

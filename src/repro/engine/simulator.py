@@ -28,6 +28,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import time as _time
 from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Iterable
@@ -214,6 +215,10 @@ class Simulator:
         self.now = 0.0
         self.events_processed = 0
         self.heap_events = 0
+        # Cumulative real seconds spent inside run() — the only wall-clock
+        # quantity the virtual-time backend reports (executor backends add
+        # per-worker breakdowns on top).  Pure stats: never read by handlers.
+        self.wall_time = 0.0
 
     def install_batching(self, controllers: list) -> None:
         """Enable the adaptive data plane: one drain controller per machine.
@@ -931,6 +936,7 @@ class Simulator:
         queue = self._queue
         heap_events = self.heap_events
         after_faults = self._after_event_faults
+        wall_start = _time.perf_counter()
         try:
             while queue:
                 time, rank, target, message = heapq.heappop(queue)
@@ -957,6 +963,7 @@ class Simulator:
             # Written back even when a handler raises, so the counter stays
             # consistent with events_processed on error paths.
             self.heap_events = heap_events
+            self.wall_time += _time.perf_counter() - wall_start
         finish = self.now
         for machine in self.machines:
             finish = max(finish, machine.busy_until)

@@ -376,7 +376,7 @@ class TestDrainEligibility:
         from repro.core.operator import AdaptiveJoinOperator as Dynamic
 
         operator = Dynamic(queries["equi"], config=_config(batching="adaptive"))
-        simulator, topology = operator.build_simulation()
+        simulator, topology = operator.build_execution()
         reshuffler = simulator.tasks[topology.reshuffler_names[1]]
         source = Message(
             kind=MessageKind.SOURCE, sender="__source__", payload=_data_message(0).payload
@@ -390,7 +390,7 @@ def normal_joiner(queries):
     from repro.core.operator import GridJoinOperator
 
     operator = GridJoinOperator(queries["equi"], config=_config(batching="adaptive"))
-    simulator, topology = operator.build_simulation()
+    simulator, topology = operator.build_execution()
     return simulator.tasks[topology.joiner_names[0]]
 
 

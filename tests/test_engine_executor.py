@@ -1,0 +1,190 @@
+"""Unit and robustness tests for the executor plane.
+
+The conformance suite (``tests/test_executor_conformance.py``) pins the
+threaded backend's bit-exactness against the simulated oracle; this file pins
+the mechanics underneath it:
+
+* the robustness contract — a poisoned handler (raises) or a deadlocked
+  handler (never returns) surfaces as a bounded :class:`RuntimeError` naming
+  the stuck machine and its queue depths, never a silent hang;
+* worker-fleet plumbing — round-robin machine ownership, fleet clamping,
+  constructor validation, handler placement on owning threads, cumulative
+  per-worker stats;
+* the executor registry and its strategy objects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.api import RunConfig, executors
+from repro.engine.executor import (
+    DEFAULT_WORKER_TIMEOUT,
+    SimulatedExecutor,
+    ThreadedExecutor,
+    ThreadedSimulator,
+)
+from repro.engine.simulator import Simulator
+from repro.engine.task import Message, MessageKind, Task
+
+
+class _RecordingTask(Task):
+    """Records which thread ran its handler."""
+
+    def __init__(self, name, machine_id=-1):
+        super().__init__(name, machine_id=machine_id)
+        self.threads = []
+
+    def handle(self, message, ctx):
+        self.threads.append(threading.current_thread())
+
+
+class _PoisonedTask(Task):
+    def handle(self, message, ctx):
+        raise ValueError("poisoned handler")
+
+
+class _DeadlockedTask(Task):
+    """A handler that blocks until ``release`` is set (never, in the test)."""
+
+    def __init__(self, name, machine_id):
+        super().__init__(name, machine_id=machine_id)
+        self.release = threading.Event()
+
+    def handle(self, message, ctx):
+        self.release.wait()
+
+
+def _data(sender="test"):
+    return Message(kind=MessageKind.DATA, sender=sender)
+
+
+# ---------------------------------------------------------------------------
+# Robustness: poisoned and deadlocked handlers
+# ---------------------------------------------------------------------------
+
+
+class TestRobustness:
+    def test_poisoned_handler_surfaces_with_cause(self):
+        simulator = ThreadedSimulator(num_machines=2)
+        simulator.register(_PoisonedTask("victim", machine_id=1))
+        simulator.schedule(0.0, "victim", _data())
+        with pytest.raises(RuntimeError, match=r"machine 1 worker died") as info:
+            simulator.run()
+        # The original handler exception rides along as __cause__ and the
+        # message carries the queue depths needed to debug the wedge.
+        assert isinstance(info.value.__cause__, ValueError)
+        assert "queue depth" in str(info.value)
+        # The error path tore the fleet down; nothing is left running.
+        assert simulator._workers is None
+
+    def test_deadlocked_handler_raises_within_bound(self):
+        simulator = ThreadedSimulator(num_machines=2, worker_timeout=0.5)
+        task = _DeadlockedTask("wedged", machine_id=0)
+        simulator.register(task)
+        simulator.schedule(0.0, "wedged", _data())
+        begin = time.perf_counter()
+        try:
+            with pytest.raises(RuntimeError, match=r"machine 0 is stuck") as info:
+                simulator.run()
+        finally:
+            task.release.set()  # let the daemon worker exit
+        elapsed = time.perf_counter() - begin
+        # Bounded: one handler wait plus the best-effort shutdown join,
+        # nowhere near a hang (and far under the 60s default).
+        assert elapsed < 10.0
+        assert "did not finish a handler within 0.5s" in str(info.value)
+        assert "inbox depth" in str(info.value)
+
+    def test_poisoned_simulated_run_raises_plain_exception(self):
+        """The oracle backend keeps its existing behaviour: the handler
+        exception propagates undecorated."""
+        simulator = Simulator(num_machines=1)
+        simulator.register(_PoisonedTask("victim", machine_id=0))
+        simulator.schedule(0.0, "victim", _data())
+        with pytest.raises(ValueError, match="poisoned handler"):
+            simulator.run()
+
+
+# ---------------------------------------------------------------------------
+# Fleet plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestFleetPlumbing:
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError, match="num_workers"):
+            ThreadedSimulator(num_machines=2, num_workers=0)
+        with pytest.raises(ValueError, match="worker_timeout"):
+            ThreadedSimulator(num_machines=2, worker_timeout=0.0)
+
+    def test_fleet_clamped_to_machine_count(self):
+        simulator = ThreadedSimulator(num_machines=3, num_workers=16)
+        assert simulator.num_workers == 3
+
+    def test_round_robin_ownership(self):
+        simulator = ThreadedSimulator(num_machines=5, num_workers=2)
+        assert simulator._owner == [0, 1, 0, 1, 0]
+
+    def test_default_fleet_is_one_worker_per_machine(self):
+        simulator = ThreadedSimulator(num_machines=4)
+        assert simulator.num_workers == 4
+        assert simulator._owner == [0, 1, 2, 3]
+
+    def test_handlers_run_on_owning_worker_threads(self):
+        simulator = ThreadedSimulator(num_machines=2)
+        hosted = _RecordingTask("hosted", machine_id=1)
+        off_cluster = _RecordingTask("loose", machine_id=-1)
+        simulator.register(hosted)
+        simulator.register(off_cluster)
+        simulator.schedule(0.0, "hosted", _data())
+        simulator.schedule(0.0, "loose", _data())
+        simulator.run()
+        (worker_thread,) = hosted.threads
+        assert worker_thread is not threading.main_thread()
+        assert worker_thread.name == "repro-executor-worker-1"
+        # Off-cluster tasks (sources, collectors) stay on the coordinator.
+        assert off_cluster.threads == [threading.current_thread()]
+
+    def test_worker_stats_accumulate_across_runs(self):
+        simulator = ThreadedSimulator(num_machines=2)
+        task = _RecordingTask("hosted", machine_id=0)
+        simulator.register(task)
+        for round_number in range(3):
+            simulator.schedule(float(round_number), "hosted", _data())
+            simulator.run()
+        assert simulator.worker_events[0] == 3
+        assert simulator.worker_events[1] == 0
+        assert simulator.worker_wall[0] > 0.0
+        assert simulator.wall_time > 0.0
+        # The fleet is torn down between runs (streaming pushes re-enter).
+        assert simulator._workers is None
+
+
+# ---------------------------------------------------------------------------
+# Strategy objects and the registry
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorRegistry:
+    def test_registered_backends(self):
+        assert set(executors.names()) >= {"simulated", "threads"}
+        assert executors.get("simulated") is SimulatedExecutor
+        assert executors.get("threads") is ThreadedExecutor
+
+    def test_simulated_builds_plain_simulator(self):
+        simulator = SimulatedExecutor().build_simulator(num_machines=2, seed=9)
+        assert type(simulator) is Simulator
+        assert len(simulator.machines) == 2
+
+    def test_threads_from_config_picks_up_num_workers(self):
+        config = RunConfig(machines=4, executor="threads", num_workers=2)
+        executor = executors.get(config.executor).from_config(config)
+        assert isinstance(executor, ThreadedExecutor)
+        simulator = executor.build_simulator(num_machines=4)
+        assert isinstance(simulator, ThreadedSimulator)
+        assert simulator.num_workers == 2
+        assert simulator.worker_timeout == DEFAULT_WORKER_TIMEOUT

@@ -1,0 +1,298 @@
+"""Differential conformance suite for the executor plane.
+
+The threaded executor (``executor="threads"``) runs every machine-hosted
+handler on a worker thread that owns the machine, while the coordinator pops
+the global ``(time, rank)`` heap as a conservative dispatch frontier.  Its
+contract is the strongest in the repository: every deterministic quantity —
+join output, migration sequence with decision/completion times, final
+mapping, per-machine busy chains, execution time, probe work, network
+volumes, heap events and wire histograms — must be **bit-identical** to the
+simulated oracle; only wall-clock-derived stats (``wall_time``,
+``worker_wall``, ``worker_events``) may differ between backends.
+
+The suite sweeps the scenario matrix: predicate kind (equi / band /
+composite-residual) x operator (migrating Dynamic / static) x data plane
+(per-tuple / adaptive draining), asserting exact equivalence on every cell —
+``events=True``, nothing ignored — plus a Hypothesis leg over random seeds,
+worker-fleet sizes and streaming chunkings, and the ``ignore=`` contract of
+:func:`repro.testing.assert_run_equivalent` (wall-clock exclusions compose;
+the semantic baseline is never skippable).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import JoinSession, RunConfig
+from repro.core.baselines import StaticMidOperator
+from repro.core.operator import AdaptiveJoinOperator
+from repro.data.queries import JoinQuery, make_query
+from repro.engine.stream import interleave_streams, make_tuples
+from repro.joins.predicates import CompositePredicate, EquiPredicate
+from repro.testing import IGNORABLE_FIELDS, TIMING_FIELDS, assert_run_equivalent
+
+MACHINES = 8
+SEED = 5
+
+OPERATORS = {
+    "migrating": AdaptiveJoinOperator,   # warmup 16 -> migrates mid-stream
+    "static": StaticMidOperator,         # never migrates
+}
+
+#: Data planes the matrix crosses the executors with: per-tuple fixed plane
+#: and the adaptive draining plane (the one with receiver-side coalescing —
+#: the hardest case for a parallel backend to keep bit-identical).
+PLANES = {
+    "per_tuple": {"batch_size": 1},
+    "adaptive": {"batching": "adaptive"},
+}
+
+
+def _composite_query(rng: random.Random) -> JoinQuery:
+    """A composite predicate (equi hash path + residual re-validation)."""
+    left = [{"k": rng.randrange(12), "v": rng.randrange(40)} for _ in range(40)]
+    right = [{"k": rng.randrange(12), "v": rng.randrange(40)} for _ in range(360)]
+    return JoinQuery(
+        name="COMPOSITE",
+        left_relation="R",
+        right_relation="S",
+        left_records=left,
+        right_records=right,
+        predicate=CompositePredicate(
+            EquiPredicate("k", "k"), residuals=[lambda l, r: (l["v"] + r["v"]) % 2 == 0]
+        ),
+        description="equi join with a parity residual (executor conformance)",
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(small_dataset):
+    return {
+        "equi": make_query("EQ5", small_dataset),
+        "band": make_query("BNCI", small_dataset),
+        "composite": _composite_query(random.Random(17)),
+    }
+
+
+def _arrival_order(query, seed=SEED):
+    rng = random.Random(seed)
+    left = make_tuples(query.left_relation, query.left_records, rng, query.left_tuple_size)
+    right = make_tuples(
+        query.right_relation, query.right_records, rng, query.right_tuple_size
+    )
+    return interleave_streams(left, right, rng)
+
+
+def _config(**overrides):
+    knobs = {"machines": MACHINES, "seed": SEED, "warmup_tuples": 16}
+    knobs.update(overrides)
+    return RunConfig(**knobs)
+
+
+def _run(operator_class, query, order, **overrides):
+    operator = operator_class(query, config=_config(**overrides))
+    return operator.run(arrival_order=order, collect_outputs=True)
+
+
+def _run_pair(operator_class, query, order, **shared):
+    """The same scenario on the simulated oracle and the threaded backend."""
+    oracle = _run(operator_class, query, order, **shared)
+    threaded = _run(operator_class, query, order, executor="threads", **shared)
+    return oracle, threaded
+
+
+# ---------------------------------------------------------------------------
+# Materialised scenario matrix
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorMatrix:
+    @pytest.mark.parametrize("predicate", ["equi", "band", "composite"])
+    @pytest.mark.parametrize("plane", sorted(PLANES))
+    @pytest.mark.parametrize("operator", sorted(OPERATORS))
+    def test_threads_bit_identical_to_oracle(self, queries, predicate, plane, operator):
+        query = queries[predicate]
+        order = _arrival_order(query)
+        oracle, threaded = _run_pair(
+            OPERATORS[operator], query, order, **PLANES[plane]
+        )
+        label = f"{predicate}/{plane}/{operator}"
+        # events=True: even the heap-event count and the per-link wire-merge
+        # histogram must match — the dispatch frontier may not reorder,
+        # merge or split anything the oracle would not.
+        assert_run_equivalent(oracle, threaded, events=True, label=label)
+        if operator == "migrating":
+            assert oracle.migrations >= 1, f"{label}: scenario must migrate"
+
+    def test_result_records_executor_metadata(self, queries):
+        query = queries["equi"]
+        order = _arrival_order(query)
+        oracle, threaded = _run_pair(AdaptiveJoinOperator, query, order)
+        assert oracle.executor == "simulated"
+        assert oracle.worker_wall is None and oracle.worker_events is None
+        assert threaded.executor == "threads"
+        assert len(threaded.worker_wall) == MACHINES
+        assert len(threaded.worker_events) == MACHINES
+        # Every machine's worker actually executed handlers.
+        assert all(count > 0 for count in threaded.worker_events)
+        assert threaded.wall_time > 0.0
+        # wall-clock is a stat, never an input: virtual time stayed exact.
+        assert threaded.execution_time == oracle.execution_time
+
+    def test_small_fleet_owns_machines_round_robin(self, queries):
+        """num_workers < machines multiplexes machines onto fewer owners
+        without changing any deterministic quantity."""
+        query = queries["equi"]
+        order = _arrival_order(query)
+        oracle = _run(AdaptiveJoinOperator, query, order)
+        for num_workers in (1, 3):
+            threaded = _run(
+                AdaptiveJoinOperator, query, order,
+                executor="threads", num_workers=num_workers,
+            )
+            assert_run_equivalent(
+                oracle, threaded, events=True, label=f"num_workers={num_workers}"
+            )
+            assert len(threaded.worker_events) == num_workers
+            assert sum(threaded.worker_events) > 0
+
+
+# ---------------------------------------------------------------------------
+# Streaming ingestion: executor vs executor under identical chunkings
+# ---------------------------------------------------------------------------
+
+
+def _stream_run(query, order, chunks, **overrides):
+    session = JoinSession(query, operator="Dynamic", config=_config(**overrides))
+    session.open_stream(collect_outputs=True)
+    position = 0
+    for chunk in chunks:
+        if position >= len(order):
+            break
+        session.push(items=list(order[position:position + chunk]))
+        position += chunk
+    if position < len(order):
+        session.push(items=list(order[position:]))
+    return session.finish()
+
+
+@pytest.fixture(scope="module")
+def small_conformance(small_dataset):
+    """A reduced workload for the Hypothesis legs (speed)."""
+    query = make_query("EQ5", small_dataset)
+    order = _arrival_order(query)[:160]
+    return query, order
+
+
+class TestStreamingExecutorConformance:
+    @pytest.mark.parametrize("chunk_seed", [3, 99])
+    def test_streaming_threads_bit_identical(self, queries, chunk_seed):
+        """Each push tears the worker fleet up and down; the cumulative run
+        must still match the oracle exactly under the same chunking."""
+        query = queries["equi"]
+        order = _arrival_order(query)
+        rng = random.Random(chunk_seed)
+        chunks, remaining = [], len(order)
+        while remaining > 0:
+            chunk = rng.randrange(1, 120)
+            chunks.append(chunk)
+            remaining -= chunk
+        oracle = _stream_run(query, order, chunks)
+        threaded = _stream_run(query, order, chunks, executor="threads")
+        assert_run_equivalent(
+            oracle, threaded, events=True, label=f"stream/chunking-{chunk_seed}"
+        )
+        # Worker stats accumulate across pushes rather than resetting.
+        assert sum(threaded.worker_events) > 0
+
+    @given(
+        seed=st.integers(0, 2**16),
+        num_workers=st.integers(1, 8),
+        plane=st.sampled_from(sorted(PLANES)),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_any_seed_and_fleet_reproduces_oracle(
+        self, small_conformance, seed, num_workers, plane
+    ):
+        """Cross-executor property: for ANY simulation seed, fleet size and
+        data plane, the threaded backend is bit-identical to the oracle."""
+        query, order = small_conformance
+        shared = dict(PLANES[plane], seed=seed)
+        oracle = _run(AdaptiveJoinOperator, query, order, **shared)
+        threaded = _run(
+            AdaptiveJoinOperator, query, order,
+            executor="threads", num_workers=num_workers, **shared,
+        )
+        assert_run_equivalent(
+            oracle, threaded, events=True,
+            label=f"seed={seed}/workers={num_workers}/{plane}",
+        )
+
+
+# ---------------------------------------------------------------------------
+# The ignore= contract of assert_run_equivalent
+# ---------------------------------------------------------------------------
+
+
+class TestIgnoreParameter:
+    def test_ignoring_wall_clock_fields_composes(self, small_conformance):
+        """A cross-executor comparison may name wall-clock-adjacent fields in
+        ignore= while everything else stays strict — and naming them must not
+        loosen fields that actually match."""
+        query, order = small_conformance
+        oracle, threaded = _run_pair(AdaptiveJoinOperator, query, order)
+        assert_run_equivalent(
+            oracle, threaded, events=True,
+            ignore=("execution_time", "machine_busy", "heap_events"),
+            label="ignore-wall-clock",
+        )
+
+    def test_default_is_strict(self, small_conformance):
+        """With ignore= unset, a timing delta still fails loudly."""
+        query, order = small_conformance
+        oracle, threaded = _run_pair(AdaptiveJoinOperator, query, order)
+        skewed = dataclasses.replace(
+            oracle, execution_time=oracle.execution_time + 1.0
+        )
+        with pytest.raises(AssertionError, match="execution_time"):
+            assert_run_equivalent(skewed, threaded, label="strict")
+        # ...and naming the skewed field is exactly what lets it pass.
+        assert_run_equivalent(
+            skewed, threaded, ignore=("execution_time",), label="excused"
+        )
+
+    def test_unknown_ignore_name_raises(self, small_conformance):
+        query, order = small_conformance
+        oracle, threaded = _run_pair(StaticMidOperator, query, order)
+        with pytest.raises(ValueError, match="unknown ignore field"):
+            assert_run_equivalent(oracle, threaded, ignore=("exec_time",))
+
+    def test_semantic_baseline_is_not_ignorable(self, small_conformance):
+        """Join outputs, counts, migrations and mappings can never be waved
+        away — they are not in IGNORABLE_FIELDS and ignore= rejects them."""
+        for baseline in ("outputs", "output_count", "migrations", "final_mapping"):
+            assert baseline not in IGNORABLE_FIELDS
+        query, order = small_conformance
+        oracle, threaded = _run_pair(StaticMidOperator, query, order)
+        with pytest.raises(ValueError, match="never skippable"):
+            assert_run_equivalent(oracle, threaded, ignore=("outputs",))
+
+    def test_coarse_switches_are_field_group_shorthand(self, small_conformance):
+        """timing=False is exactly ignore=TIMING_FIELDS."""
+        query, order = small_conformance
+        oracle = _run(StaticMidOperator, query, order, batch_size=1)
+        batched = _run(StaticMidOperator, query, order, batch_size=32)
+        assert_run_equivalent(
+            oracle, batched, timing=False, network=False, label="coarse"
+        )
+        assert_run_equivalent(
+            oracle, batched,
+            ignore=TIMING_FIELDS | {"routing_volume", "migration_volume",
+                                    "total_network_volume"},
+            label="explicit",
+        )
