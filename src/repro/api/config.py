@@ -110,13 +110,21 @@ class RunConfig:
             rank)`` merge order: outputs, migrations and every virtual-time
             quantity are bit-identical to the oracle (pinned by
             ``tests/test_executor_conformance.py``); only wall-clock-derived
-            stats differ.  Not yet compatible with ``fault_schedule`` /
-            ``checkpoint_interval`` (recovery is pinned to the simulated
-            backend until it is ported).
+            stats differ.  Composes with ``fault_schedule`` and
+            ``checkpoint_interval``: faults are full barriers on the
+            dispatch frontier and the checkpoint journal accepts writes from
+            any worker thread.
         num_workers: worker threads of a parallel executor; ``None`` (the
-            default) means one worker per machine.  Rejected for
-            non-parallel executors (the ``"simulated"`` backend has no
-            workers to size).
+            default) means one worker per machine.  Requests beyond the
+            machine count are clamped (a worker owns whole machines); the
+            count actually used is reported as ``RunResult.effective_workers``.
+            Rejected for non-parallel executors (the ``"simulated"`` backend
+            has no workers to size).
+        worker_timeout: seconds the coordinator of a parallel executor waits
+            on one worker handler (completion at commit, thread exit at
+            shutdown) before declaring the run wedged and raising; ``None``
+            (the default) uses the executor's generous built-in bound.
+            Rejected for non-parallel executors.
     """
 
     machines: int = 16
@@ -140,6 +148,7 @@ class RunConfig:
     max_retries: int = 5
     executor: str = "simulated"
     num_workers: int | None = None
+    worker_timeout: float | None = None
 
     # ------------------------------------------------------------- validation
 
@@ -165,6 +174,7 @@ class RunConfig:
             ("max_retries", self.max_retries, int, False),
             ("executor", self.executor, str, False),
             ("num_workers", self.num_workers, int, True),
+            ("worker_timeout", self.worker_timeout, (int, float), True),
         )
         for name, value, types, optional in expectations:
             if optional and value is None:
@@ -285,24 +295,20 @@ class RunConfig:
                     f"executor={self.executor!r} runs single-threaded "
                     '(use executor="threads" to size a worker fleet)'
                 )
+            if self.worker_timeout is not None:
+                raise ValueError(
+                    f"worker_timeout is a parallel-executor knob; "
+                    f"executor={self.executor!r} has no worker threads to "
+                    'bound (use executor="threads")'
+                )
         else:
             if self.num_workers is not None and self.num_workers < 1:
                 raise ValueError(
                     f"num_workers must be >= 1 or None, got {self.num_workers}"
                 )
-            if self.fault_schedule:
+            if self.worker_timeout is not None and self.worker_timeout <= 0:
                 raise ValueError(
-                    f"executor={self.executor!r} does not support fault "
-                    "injection yet: crash scheduling and journal replay are "
-                    "pinned to the simulated oracle until recovery is ported "
-                    '— drop fault_schedule or use executor="simulated"'
-                )
-            if self.checkpoint_interval is not None:
-                raise ValueError(
-                    f"executor={self.executor!r} does not support durable "
-                    "checkpointing yet: the SQLite journal is bound to the "
-                    "coordinator thread — drop checkpoint_interval or use "
-                    'executor="simulated"'
+                    f"worker_timeout must be > 0 or None, got {self.worker_timeout}"
                 )
 
     # -------------------------------------------------------------- overrides

@@ -427,6 +427,9 @@ class GridJoinOperator:
                 if hasattr(simulator, "worker_events")
                 else None
             ),
+            effective_workers=getattr(simulator, "num_workers", None),
+            overlap_dispatches=getattr(simulator, "overlap_dispatches", 0),
+            peak_inflight=getattr(simulator, "peak_inflight", 0),
             faults_injected=faults_injected,
             recovery_time=recovery_time,
             tuples_replayed=tuples_replayed,

@@ -33,6 +33,12 @@ rng, charge or metric).  A crashed run pins the *output multiset* against its
 fault-free twin (Theorem 4.5 holds under any migration sequence, including
 the involuntary one), while timings and the migration sequence may diverge;
 replaying the same crashed run twice is bit-identical.
+
+The whole plane is executor-agnostic: on the threaded backend handlers
+journal from worker threads (the checkpoint store hands each thread its own
+SQLite connection behind one store-wide lock), faults are barriers on the
+dispatch frontier, and a crashed threaded run is bit-identical to the
+crashed oracle (``tests/test_threads_recovery.py``).
 """
 
 from __future__ import annotations

@@ -73,6 +73,17 @@ class RunResult:
             (parallel executors only; None on the simulated backend).
         worker_events: per-worker handler invocation counts (parallel
             executors only; None on the simulated backend).
+        effective_workers: worker threads the parallel executor actually
+            ran after clamping the request to the machine count (a worker
+            owns whole machines); None on the simulated backend.  Surfaced
+            so trend rows never compare mislabeled fleet sizes.
+        overlap_dispatches: dispatches of the threaded frontier that started
+            while at least one other handler was still in flight.  A
+            structurally deterministic count (dispatch decisions are pure
+            functions of virtual-time keys), 0 on the simulated backend.
+        peak_inflight: largest number of handlers concurrently in flight on
+            the threaded frontier (1 = lock-step; 0 on the simulated
+            backend).
         faults_injected: number of machine crashes the fault schedule injected.
         recovery_time: total virtual time spent recovering — per crash, the
             outage window (crash to restart) plus the restore cost of
@@ -120,6 +131,9 @@ class RunResult:
     wall_time: float = 0.0
     worker_wall: list[float] | None = None
     worker_events: list[int] | None = None
+    effective_workers: int | None = None
+    overlap_dispatches: int = 0
+    peak_inflight: int = 0
     faults_injected: int = 0
     recovery_time: float = 0.0
     tuples_replayed: int = 0
@@ -143,4 +157,7 @@ class RunResult:
             "final_mapping": str(self.final_mapping),
             "events_processed": self.events_processed,
             "executor": self.executor,
+            "effective_workers": (
+                "" if self.effective_workers is None else self.effective_workers
+            ),
         }

@@ -14,6 +14,14 @@ state mutations are journaled, its sends are durably on the wire) or not at
 all.  A crashed machine loses its in-memory epoch stores and its inbox;
 traffic addressed to it is buffered and retried by the link layer (see
 ``Simulator``) rather than silently dropped.
+
+On the threaded executor the same model holds on the dispatch frontier:
+fault events are full barriers (every in-flight handler commits before the
+crash processes, so fail-stop-at-handler-boundaries is preserved verbatim),
+and an armed event-anchored trigger degrades the frontier to lock-step —
+the oracle checks the trigger after *every* heap event, so
+``events_processed`` must be exact at each pop.  Overlap resumes once the
+schedule drains.
 """
 
 from __future__ import annotations

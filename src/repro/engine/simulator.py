@@ -157,7 +157,12 @@ class Simulator:
     Args:
         num_machines: number of machines in the cluster.
         cost_model: the CPU/network/storage cost model shared by all machines.
-        seed: seed of the simulation-wide random source.
+        seed: seed of the simulation's random sources.  Every machine gets
+            its own stream, derived deterministically from
+            ``(seed, machine_id)`` — see :meth:`machine_rng` — so a parallel
+            backend can run handlers of different machines concurrently
+            without sharing RNG state (and without changing a single draw:
+            the simulated oracle uses the same derivation).
         collect_outputs: if True, the metrics collector retains every output
             pair (needed for correctness tests; disabled for large benchmark
             runs to bound memory).
@@ -180,11 +185,27 @@ class Simulator:
         self.machines = [Machine(machine_id=i, cost_model=self.cost_model) for i in range(num_machines)]
         self.network = Network(cost_model=self.cost_model)
         self.metrics = MetricsCollector(collect_outputs=collect_outputs)
-        self.rng = random.Random(seed)
+        self.seed = seed
+        # Per-machine RNG streams (index [machine_id + 1]; slot 0 is the
+        # shared off-cluster stream).  String seeding hashes through SHA-512,
+        # so the streams are deterministic across processes and independent
+        # of each other — each machine's draws depend only on (seed,
+        # machine_id) and its own handler sequence, never on what other
+        # machines drew in between.
+        self._machine_rngs = [random.Random(f"{seed}/off-cluster")] + [
+            random.Random(f"{seed}/{i}") for i in range(num_machines)
+        ]
         self.tasks: dict[str, Task] = {}
         self._queue: list[tuple] = []
         self._schedule_rank = itertools.count()
-        self._link_rank: dict[tuple[int, int], int] = {}
+        # Per-link FIFO sequence counters, owned by the *sender* machine
+        # (index [sender_machine + 1], keyed by destination machine id): a
+        # machine's sends touch only its own counter dict, so handlers of
+        # different machines can post concurrently without sharing counter
+        # state.  The rank formula itself is unchanged.
+        self._link_rank: list[dict[int, int]] = [
+            {} for _ in range(num_machines + 1)
+        ]
         self._started: set[str] = set()
         self._inboxes: list[deque] = [deque() for _ in range(num_machines)]
         self._tick_scheduled: list[bool] = [False] * num_machines
@@ -297,6 +318,18 @@ class Simulator:
         """The machine hosting ``task_name`` (None for off-cluster tasks)."""
         return self.tasks[task_name].hosted_machine
 
+    def machine_rng(self, machine_id: int) -> random.Random:
+        """The RNG stream owned by ``machine_id``.
+
+        Derived deterministically from ``(seed, machine_id)``; off-cluster
+        tasks (``machine_id < 0``) share one dedicated stream.  Handlers
+        reach it through :attr:`repro.engine.task.Context.rng`, so a task's
+        draws are a pure function of its own machine's handler sequence —
+        the property that lets a parallel backend overlap handlers of
+        different machines without perturbing anyone's stream.
+        """
+        return self._machine_rngs[machine_id + 1 if machine_id >= 0 else 0]
+
     # ------------------------------------------------------------- scheduling
 
     def schedule(self, time: float, destination: str, message: Message) -> None:
@@ -310,9 +343,9 @@ class Simulator:
 
     def _send_rank(self, sender_machine: int, dest_machine: int) -> int:
         """Plane-invariant rank of one task send (see the module comment)."""
-        link = (sender_machine, dest_machine)
-        sequence = self._link_rank.get(link, 0)
-        self._link_rank[link] = sequence + 1
+        links = self._link_rank[sender_machine + 1]
+        sequence = links.get(dest_machine, 0)
+        links[dest_machine] = sequence + 1
         return (
             _SEND_RANK_BASE
             + ((sender_machine + 2) * _MACHINE_SPAN + dest_machine + 2) * _LINK_SPAN
@@ -435,8 +468,25 @@ class Simulator:
         ctx: Context,
     ) -> None:
         """Send a message from a task while it is processing (called via Context)."""
+        self._post_at(sender_task, destination, message, category, ctx.now + ctx.charged)
+
+    def _post_at(
+        self,
+        sender_task: Task,
+        destination: str,
+        message: Message,
+        category: TrafficCategory,
+        departure: float,
+    ) -> None:
+        """The body of :meth:`post` with the departure time made explicit.
+
+        A parallel backend buffers a concurrently-running handler's sends
+        (capturing ``ctx.now + ctx.charged`` at call time) and replays them
+        here at commit, so the network transfer, rank assignment and heap
+        push run through the identical code path — in oracle order — that a
+        live send would have taken.
+        """
         dest_task = self.tasks[destination]
-        departure = ctx.now + ctx.charged
         sender_machine = sender_task.machine_id
         dest_machine = dest_task.machine_id
         if sender_machine < 0 or dest_machine < 0:
@@ -483,12 +533,24 @@ class Simulator:
         with the per-send bookkeeping hoisted out of the loop.  Data plane
         only: single-tuple payloads, non-priority kinds.
         """
+        self._post_fanout_at(
+            sender_task, destinations, message, category, ctx.now + ctx.charged
+        )
+
+    def _post_fanout_at(
+        self,
+        sender_task: Task,
+        destinations,
+        message: Message,
+        category: TrafficCategory,
+        departure: float,
+    ) -> None:
+        """:meth:`post_fanout` with the departure explicit (commit replay)."""
         tasks = self.tasks
         transfer = self.network.transfer
         queue = self._queue
-        link_rank = self._link_rank
-        departure = ctx.now + ctx.charged
         sender_machine = sender_task.machine_id
+        link_rank = self._link_rank[sender_machine + 1]
         size = message.size
         latency = self.cost_model.network_latency
         sender_base = _SEND_RANK_BASE + (sender_machine + 2) * _MACHINE_SPAN * _LINK_SPAN
@@ -512,9 +574,8 @@ class Simulator:
                     ))
                     continue
                 delivery = transfer(sender_machine, dest_machine, size, category, departure)
-                link = (sender_machine, dest_machine)
-                sequence = link_rank.get(link, 0)
-                link_rank[link] = sequence + 1
+                sequence = link_rank.get(dest_machine, 0)
+                link_rank[dest_machine] = sequence + 1
                 rank = sender_base + (dest_machine + 2) * _LINK_SPAN + sequence
                 run = channel_get(dest_task)
                 if run is None or run.closed:
@@ -534,9 +595,8 @@ class Simulator:
                 delivery = departure + latency
             else:
                 delivery = transfer(sender_machine, dest_machine, size, category, departure)
-            link = (sender_machine, dest_machine)
-            sequence = link_rank.get(link, 0)
-            link_rank[link] = sequence + 1
+            sequence = link_rank.get(dest_machine, 0)
+            link_rank[dest_machine] = sequence + 1
             rank = sender_base + (dest_machine + 2) * _LINK_SPAN + sequence
             heappush(queue, (delivery, rank, dest_task, message))
 

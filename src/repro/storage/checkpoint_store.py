@@ -13,6 +13,17 @@ write-behind, like a group-committed log — and are force-flushed at every
 snapshot and at crash time, so the on-disk journal is always complete before
 recovery reads it.
 
+Threading model: the threaded executor journals from its worker threads
+(handlers run machine-locally on the worker that owns the machine), so the
+store cannot be bound to the thread that created it.  Every thread gets its
+own SQLite connection on first use (``sqlite3`` connections are
+thread-bound by default), all configured identically — WAL readers and
+writers on the same file compose — and one store-wide lock serialises the
+buffer/counter bookkeeping and each database transaction.  The lock is
+coarse but uncontended in practice: the dispatch gate never lets two
+handlers of the same machine overlap, and cross-machine journal writes are
+short appends.
+
 Journaling charges **zero virtual time** and touches neither the event heap
 nor the rng, so a fault-free run with checkpointing enabled is bit-identical
 to the same run without it (pinned in ``tests/test_fault_recovery.py``).
@@ -26,11 +37,15 @@ import os
 import pickle
 import sqlite3
 import tempfile
+import threading
 from typing import Any
 
 
 class CheckpointStore:
     """Snapshot + delta journal for every task of one run.
+
+    Safe to call from any thread; see the module docstring for the
+    connection-per-thread model.
 
     Args:
         path: SQLite database file.  ``None`` creates a temp file that is
@@ -48,19 +63,20 @@ class CheckpointStore:
             self._owns_file = False
         self.path = path
         self.flush_every = max(1, int(flush_every))
-        self._conn = sqlite3.connect(path)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._connections: list[sqlite3.Connection] = []
+        conn = self._connection()
+        conn.execute(
             "CREATE TABLE IF NOT EXISTS snapshots ("
             " task TEXT PRIMARY KEY, seq INTEGER NOT NULL, payload BLOB NOT NULL)"
         )
-        self._conn.execute(
+        conn.execute(
             "CREATE TABLE IF NOT EXISTS deltas ("
             " task TEXT NOT NULL, seq INTEGER NOT NULL, payload BLOB NOT NULL,"
             " PRIMARY KEY (task, seq))"
         )
-        self._conn.commit()
+        conn.commit()
         self._buffers: dict[str, list[tuple[str, int, bytes]]] = {}
         self._next_seq: dict[str, int] = {}
         self._since_snapshot: dict[str, int] = {}
@@ -69,82 +85,125 @@ class CheckpointStore:
         self.snapshots_taken = 0
         self._closed = False
 
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection, created and configured on first
+        use (WAL, group-commit-friendly sync level, and a busy timeout as a
+        belt-and-braces guard — the store lock already serialises writes).
+
+        Called with the store lock held (every journaling/recovery entry
+        point takes it), so it must not re-acquire it; the bare
+        ``list.append`` registration is atomic under the GIL either way.
+        """
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            # check_same_thread=False lets close() (and crash-path flushes)
+            # run from a thread other than the opener; every statement still
+            # executes under the store lock, never concurrently.
+            conn = sqlite3.connect(self.path, check_same_thread=False)
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute("PRAGMA busy_timeout=10000")
+            self._local.conn = conn
+            self._connections.append(conn)
+        return conn
+
     # ------------------------------------------------------------- journaling
 
     def log(self, task: str, entry: Any) -> int:
         """Append one delta entry for ``task``; returns the number of deltas
         logged since that task's last snapshot."""
         payload = pickle.dumps(entry, protocol=pickle.HIGHEST_PROTOCOL)
-        seq = self._next_seq.get(task, 0)
-        self._next_seq[task] = seq + 1
-        buffer = self._buffers.setdefault(task, [])
-        buffer.append((task, seq, payload))
-        if len(buffer) >= self.flush_every:
-            self._flush_task(task)
-        self.bytes_written += len(payload)
-        self.delta_entries += 1
-        count = self._since_snapshot.get(task, 0) + 1
-        self._since_snapshot[task] = count
-        return count
+        with self._lock:
+            seq = self._next_seq.get(task, 0)
+            self._next_seq[task] = seq + 1
+            buffer = self._buffers.setdefault(task, [])
+            buffer.append((task, seq, payload))
+            if len(buffer) >= self.flush_every:
+                self._flush_task_locked(task)
+            self.bytes_written += len(payload)
+            self.delta_entries += 1
+            count = self._since_snapshot.get(task, 0) + 1
+            self._since_snapshot[task] = count
+            return count
 
     def snapshot(self, task: str, state: Any) -> None:
         """Write a full state snapshot for ``task`` and truncate its deltas."""
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
-        self._buffers.pop(task, None)  # superseded, never flushed
-        seq = self._next_seq.get(task, 0)
-        self._conn.execute("DELETE FROM deltas WHERE task = ?", (task,))
-        self._conn.execute(
-            "INSERT OR REPLACE INTO snapshots (task, seq, payload) VALUES (?, ?, ?)",
-            (task, seq, payload),
-        )
-        self._conn.commit()
-        self.bytes_written += len(payload)
-        self.snapshots_taken += 1
-        self._since_snapshot[task] = 0
+        with self._lock:
+            self._buffers.pop(task, None)  # superseded, never flushed
+            seq = self._next_seq.get(task, 0)
+            conn = self._connection()
+            conn.execute("DELETE FROM deltas WHERE task = ?", (task,))
+            conn.execute(
+                "INSERT OR REPLACE INTO snapshots (task, seq, payload) VALUES (?, ?, ?)",
+                (task, seq, payload),
+            )
+            conn.commit()
+            self.bytes_written += len(payload)
+            self.snapshots_taken += 1
+            self._since_snapshot[task] = 0
 
     def delta_count(self, task: str) -> int:
         """Deltas logged for ``task`` since its last snapshot."""
-        return self._since_snapshot.get(task, 0)
+        with self._lock:
+            return self._since_snapshot.get(task, 0)
 
     # --------------------------------------------------------------- recovery
 
     def load(self, task: str) -> tuple[Any, list[Any]]:
         """The last snapshot (or None) and post-snapshot deltas of ``task``."""
-        self._flush_task(task)
-        row = self._conn.execute(
-            "SELECT payload FROM snapshots WHERE task = ?", (task,)
-        ).fetchone()
-        snapshot = pickle.loads(row[0]) if row is not None else None
-        deltas = [
-            pickle.loads(payload)
-            for (payload,) in self._conn.execute(
-                "SELECT payload FROM deltas WHERE task = ? ORDER BY seq", (task,)
-            )
-        ]
-        return snapshot, deltas
+        with self._lock:
+            self._flush_task_locked(task)
+            conn = self._connection()
+            row = conn.execute(
+                "SELECT payload FROM snapshots WHERE task = ?", (task,)
+            ).fetchone()
+            snapshot = pickle.loads(row[0]) if row is not None else None
+            deltas = [
+                pickle.loads(payload)
+                for (payload,) in conn.execute(
+                    "SELECT payload FROM deltas WHERE task = ? ORDER BY seq", (task,)
+                )
+            ]
+            return snapshot, deltas
 
     # --------------------------------------------------------------- plumbing
 
-    def _flush_task(self, task: str) -> None:
+    def _flush_task_locked(self, task: str) -> None:
+        """Flush one task's buffer; the caller holds the store lock."""
         buffer = self._buffers.pop(task, None)
         if buffer:
-            self._conn.executemany(
+            conn = self._connection()
+            conn.executemany(
                 "INSERT INTO deltas (task, seq, payload) VALUES (?, ?, ?)", buffer
             )
-            self._conn.commit()
+            conn.commit()
 
     def flush(self) -> None:
         """Force every buffered delta to the database (pre-recovery barrier)."""
-        for task in list(self._buffers):
-            self._flush_task(task)
+        with self._lock:
+            for task in list(self._buffers):
+                self._flush_task_locked(task)
 
     def close(self) -> None:
-        """Close the database and remove the backing temp file."""
-        if self._closed:
-            return
-        self._closed = True
+        """Close every thread's connection and remove the backing temp file.
+
+        Connections opened by worker threads are closed here from the
+        closing thread (they are opened with ``check_same_thread=False``);
+        by close time the worker fleet has been joined, so none is in use.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections = self._connections
+            self._connections = []
         try:
-            self._conn.close()
+            for conn in connections:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - best-effort close
+                    pass
         finally:
             if self._owns_file:
                 for suffix in ("", "-wal", "-shm"):

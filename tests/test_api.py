@@ -269,13 +269,16 @@ class TestExecutorKnobs:
         with pytest.raises(ValueError, match="parallel-executor knob"):
             RunConfig(machines=8, num_workers=4)
 
-    def test_faults_rejected_on_threaded_backend(self):
-        with pytest.raises(ValueError, match="does not support fault injection"):
-            RunConfig(machines=8, executor="threads", fault_schedule=[crash(0, 1.0)])
-
-    def test_checkpointing_rejected_on_threaded_backend(self):
-        with pytest.raises(ValueError, match="durable checkpointing"):
-            RunConfig(machines=8, executor="threads", checkpoint_interval=25)
+    def test_faults_and_checkpointing_accepted_on_threaded_backend(self):
+        """Recovery is ported to the threaded frontier (the old eager
+        rejections are gone; conformance lives in
+        tests/test_threads_recovery.py)."""
+        config = RunConfig(
+            machines=8, executor="threads",
+            fault_schedule=[crash(0, 1.0)], checkpoint_interval=25,
+        )
+        assert config.fault_schedule[0].machine == 0
+        assert config.checkpoint_interval == 25
 
     @pytest.mark.parametrize(
         "overrides",

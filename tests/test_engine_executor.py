@@ -149,6 +149,38 @@ class TestFleetPlumbing:
         # Off-cluster tasks (sources, collectors) stay on the coordinator.
         assert off_cluster.threads == [threading.current_thread()]
 
+    def test_stuck_worker_stats_reported_lost_not_folded(self):
+        """A worker wedged mid-handler at shutdown must not have its
+        wall_time/handlers_run counters folded (they are being mutated
+        concurrently — folding would publish torn values); the shutdown
+        error names it and reports the stats as lost."""
+        simulator = ThreadedSimulator(num_machines=2, worker_timeout=0.3)
+        release = threading.Event()
+        finished = threading.Event()
+        simulator._start_workers()
+        workers = simulator._workers
+        # Worker 0 completes one unit of work; worker 1 wedges mid-handler.
+        workers[0].inbound.put((finished.set, ()))
+        workers[1].inbound.put((release.wait, ()))
+        assert finished.wait(5.0)
+        try:
+            with pytest.raises(RuntimeError, match="failed to shut down") as info:
+                simulator._stop_workers(True)
+        finally:
+            release.set()
+        assert "worker 1" in str(info.value)
+        assert "lost" in str(info.value)
+        # The joined worker's stats folded; the stuck worker's did not.
+        assert simulator.worker_events[0] == 1
+        assert simulator.worker_events[1] == 0
+        assert simulator.worker_wall[1] == 0.0
+        assert simulator._workers is None
+
+    def test_overlap_counters_start_at_zero(self):
+        simulator = ThreadedSimulator(num_machines=2)
+        assert simulator.overlap_dispatches == 0
+        assert simulator.peak_inflight == 0
+
     def test_worker_stats_accumulate_across_runs(self):
         simulator = ThreadedSimulator(num_machines=2)
         task = _RecordingTask("hosted", machine_id=0)
@@ -188,3 +220,24 @@ class TestExecutorRegistry:
         assert isinstance(simulator, ThreadedSimulator)
         assert simulator.num_workers == 2
         assert simulator.worker_timeout == DEFAULT_WORKER_TIMEOUT
+
+    def test_threads_from_config_picks_up_worker_timeout(self):
+        config = RunConfig(machines=4, executor="threads", worker_timeout=1.5)
+        executor = executors.get(config.executor).from_config(config)
+        simulator = executor.build_simulator(num_machines=4)
+        assert simulator.worker_timeout == 1.5
+
+    def test_worker_timeout_config_validation(self):
+        # Parallel-only knob: the serial oracle has no workers to bound.
+        with pytest.raises(ValueError, match="worker_timeout"):
+            RunConfig(machines=4, worker_timeout=1.5)
+        with pytest.raises(ValueError, match="worker_timeout"):
+            RunConfig(machines=4, executor="threads", worker_timeout=0.0)
+        with pytest.raises(ValueError, match="worker_timeout"):
+            RunConfig(machines=4, executor="threads", worker_timeout="fast")
+
+    def test_worker_timeout_json_round_trip(self):
+        config = RunConfig(machines=4, executor="threads", worker_timeout=2.5)
+        rebuilt = RunConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.worker_timeout == 2.5

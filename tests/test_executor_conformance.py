@@ -8,7 +8,9 @@ join output, migration sequence with decision/completion times, final
 mapping, per-machine busy chains, execution time, probe work, network
 volumes, heap events and wire histograms — must be **bit-identical** to the
 simulated oracle; only wall-clock-derived stats (``wall_time``,
-``worker_wall``, ``worker_events``) may differ between backends.
+``worker_wall``, ``worker_events``) and the frontier's own bookkeeping
+(``effective_workers``, ``overlap_dispatches``, ``peak_inflight``) may
+differ between backends.
 
 The suite sweeps the scenario matrix: predicate kind (equi / band /
 composite-residual) x operator (migrating Dynamic / static) x data plane
@@ -143,6 +145,38 @@ class TestExecutorMatrix:
         assert threaded.wall_time > 0.0
         # wall-clock is a stat, never an input: virtual time stayed exact.
         assert threaded.execution_time == oracle.execution_time
+
+    def test_frontier_genuinely_overlaps(self, queries):
+        """The widened frontier must run >1 handler concurrently in flight
+        on a saturated per-tuple cell — the counters are structurally
+        deterministic (dispatch decisions are pure functions of virtual-time
+        keys), so they are hard assertions, not flaky thresholds — while the
+        run stays bit-identical to the oracle."""
+        query = queries["equi"]
+        order = _arrival_order(query)
+        oracle, threaded = _run_pair(
+            AdaptiveJoinOperator, query, order, batch_size=1
+        )
+        assert_run_equivalent(oracle, threaded, events=True, label="overlap-cell")
+        assert oracle.overlap_dispatches == 0 and oracle.peak_inflight == 0
+        assert threaded.peak_inflight > 1, "frontier ran lock-step"
+        assert threaded.overlap_dispatches >= 1
+
+    def test_effective_workers_surfaces_clamp(self, queries):
+        """num_workers beyond the machine count silently clamps inside the
+        executor (a worker owns whole machines); the effective size must be
+        recorded on the result and in the summary row so trend diffs never
+        compare mislabeled fleet configurations."""
+        query = queries["equi"]
+        order = _arrival_order(query)
+        oracle = _run(AdaptiveJoinOperator, query, order)
+        assert oracle.effective_workers is None
+        assert oracle.summary_row()["effective_workers"] == ""
+        threaded = _run(
+            AdaptiveJoinOperator, query, order, executor="threads", num_workers=64
+        )
+        assert threaded.effective_workers == MACHINES
+        assert threaded.summary_row()["effective_workers"] == MACHINES
 
     def test_small_fleet_owns_machines_round_robin(self, queries):
         """num_workers < machines multiplexes machines onto fewer owners

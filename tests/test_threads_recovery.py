@@ -1,0 +1,175 @@
+"""Fault injection and recovery on the threaded executor.
+
+PR'd together with the overlapping dispatch frontier: the recovery plane
+(crash scheduling, durable checkpoints, journal replay) previously rejected
+``executor="threads"`` outright.  This suite pins the ported combination:
+
+* **Config acceptance** — ``executor="threads"`` composes with
+  ``fault_schedule`` and ``checkpoint_interval`` (the old hard rejection is
+  gone).
+* **Crashed-run conformance** — a threaded run under a crash schedule is
+  bit-identical (``events=True``) to the simulated oracle under the same
+  schedule: fault events are full barriers on the dispatch frontier, so the
+  crash, the outage window and the replayed recovery land on the exact same
+  virtual-time instants.
+* **Twin recovery** — the recovered threaded run produces the *same join
+  output multiset* as its fault-free twin over the same arrival order.
+* **Fault-free journaling** — checkpointing from worker threads (the store
+  hands every thread its own SQLite connection) charges zero virtual time:
+  the run stays bit-identical to both the un-checkpointed reference and the
+  checkpointed oracle.
+
+Twin runs share ONE materialised arrival order (``StreamTuple`` ids come
+from a global counter, so independently materialised streams get different
+ids).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import RunConfig, crash, crash_after_events
+from repro.core.operator import AdaptiveJoinOperator
+from repro.data.queries import make_query
+from repro.engine.stream import interleave_streams, make_tuples
+from repro.testing import assert_run_equivalent
+
+MACHINES = 8
+SEED = 5
+
+#: Per-plane overrides; the event anchors are the smoke-verified midpoints
+#: used by tests/test_fault_recovery.py for the same workload.
+PLANES = {
+    "per_tuple": {"batch_size": 1, "_crash_events": 500},
+    "adaptive": {"batching": "adaptive", "_crash_events": 200},
+}
+
+
+@pytest.fixture(scope="module")
+def scenario(small_dataset):
+    query = make_query("EQ5", small_dataset)
+    rng = random.Random(SEED)
+    left = make_tuples(query.left_relation, query.left_records, rng, query.left_tuple_size)
+    right = make_tuples(
+        query.right_relation, query.right_records, rng, query.right_tuple_size
+    )
+    return query, interleave_streams(left, right, rng)
+
+
+def _run(query, order, **overrides):
+    overrides.pop("_crash_events", None)
+    config = RunConfig(machines=MACHINES, seed=SEED, warmup_tuples=16, **overrides)
+    operator = AdaptiveJoinOperator(query, config=config)
+    return operator.run(arrival_order=order, collect_outputs=True)
+
+
+def _output_multiset(result):
+    return sorted(result.outputs)
+
+
+class TestConfigAcceptance:
+    def test_threads_with_fault_schedule_accepted(self):
+        config = RunConfig(
+            machines=4, executor="threads", fault_schedule=[crash(1, 10.0)]
+        )
+        assert config.fault_schedule[0].machine == 1
+
+    def test_threads_with_checkpoint_interval_accepted(self):
+        config = RunConfig(machines=4, executor="threads", checkpoint_interval=8)
+        assert config.checkpoint_interval == 8
+
+
+class TestThreadedCrashConformance:
+    @pytest.mark.parametrize("plane", sorted(PLANES))
+    def test_crashed_run_matches_oracle_and_recovers_twin(self, scenario, plane):
+        query, order = scenario
+        overrides = dict(PLANES[plane])
+        overrides.pop("_crash_events")
+        twin = _run(query, order, **overrides)
+        schedule = [crash(3, twin.execution_time * 0.4)]
+        oracle = _run(
+            query, order, fault_schedule=schedule, checkpoint_interval=8, **overrides
+        )
+        threaded = _run(
+            query, order, fault_schedule=schedule, checkpoint_interval=8,
+            executor="threads", **overrides,
+        )
+        assert_run_equivalent(
+            oracle, threaded, events=True, label=f"threads-crash/{plane}"
+        )
+        assert threaded.faults_injected == 1
+        assert threaded.recovery_time > 0.0
+        assert _output_multiset(threaded) == _output_multiset(twin), (
+            f"{plane}: recovered outputs differ from the fault-free twin"
+        )
+
+    @pytest.mark.parametrize("plane", sorted(PLANES))
+    def test_event_anchored_crash_matches_oracle(self, scenario, plane):
+        """crash_after_events pins events_processed at every pop, which
+        degrades the frontier to lock-step while the trigger is armed — the
+        counts (and everything after recovery) must still be exact."""
+        query, order = scenario
+        overrides = dict(PLANES[plane])
+        events = overrides.pop("_crash_events")
+        twin = _run(query, order, **overrides)
+        schedule = [crash_after_events(3, events)]
+        oracle = _run(
+            query, order, fault_schedule=schedule, checkpoint_interval=8, **overrides
+        )
+        threaded = _run(
+            query, order, fault_schedule=schedule, checkpoint_interval=8,
+            executor="threads", **overrides,
+        )
+        assert_run_equivalent(
+            oracle, threaded, events=True, label=f"threads-event-crash/{plane}"
+        )
+        assert _output_multiset(threaded) == _output_multiset(twin)
+
+    def test_crash_without_checkpointing_matches_oracle(self, scenario):
+        """No durable journal: recovery replays from the retained stream —
+        still bit-identical across backends."""
+        query, order = scenario
+        twin = _run(query, order, batch_size=1)
+        schedule = [crash_after_events(3, 500)]
+        oracle = _run(query, order, batch_size=1, fault_schedule=schedule)
+        threaded = _run(
+            query, order, batch_size=1, fault_schedule=schedule, executor="threads"
+        )
+        assert_run_equivalent(oracle, threaded, events=True, label="no-checkpoint")
+        assert _output_multiset(threaded) == _output_multiset(twin)
+
+
+class TestThreadedJournaling:
+    @pytest.mark.parametrize("plane", sorted(PLANES))
+    def test_fault_free_checkpointing_is_bit_identical(self, scenario, plane):
+        """Worker-thread journaling charges zero virtual time: the threaded
+        checkpointed run matches both the plain reference and the
+        checkpointed oracle, down to heap events."""
+        query, order = scenario
+        overrides = dict(PLANES[plane])
+        overrides.pop("_crash_events")
+        reference = _run(query, order, **overrides)
+        oracle = _run(query, order, checkpoint_interval=8, **overrides)
+        threaded = _run(
+            query, order, checkpoint_interval=8, executor="threads", **overrides
+        )
+        assert_run_equivalent(
+            reference, threaded, events=True, label=f"journal-free/{plane}"
+        )
+        assert_run_equivalent(
+            oracle, threaded, events=True, label=f"journal-oracle/{plane}"
+        )
+        assert threaded.checkpoint_overhead > 0.0
+        assert threaded.checkpoint_overhead == oracle.checkpoint_overhead
+
+    def test_overlap_survives_checkpointing(self, scenario):
+        """The journaled per-tuple cell still dispatches concurrently — the
+        checkpoint store no longer serialises the frontier."""
+        query, order = scenario
+        threaded = _run(
+            query, order, batch_size=1, checkpoint_interval=8, executor="threads"
+        )
+        assert threaded.peak_inflight > 1
+        assert threaded.overlap_dispatches >= 1
