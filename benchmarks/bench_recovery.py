@@ -1,8 +1,9 @@
-"""Fault tolerance — checkpoint cadence vs recovery cost under a joiner crash."""
+"""Fault tolerance — checkpoint cadence vs recovery cost under a joiner crash,
+plus the unreliable wire's loss-rate vs retransmit-overhead trade-off."""
 
 from conftest import run_report
 
-from repro.bench.experiments import recovery_sweep
+from repro.bench.experiments import lossy_wire_sweep, recovery_sweep
 
 
 def test_recovery_sweep(benchmark):
@@ -28,3 +29,24 @@ def test_recovery_sweep(benchmark):
     # Snapshotting bounds the journal: the most frequent cadence must not
     # replay more than the journal-only configuration.
     assert rows[25]["tuples_replayed"] <= rows["journal-only"]["tuples_replayed"]
+
+
+def test_lossy_wire_sweep(benchmark):
+    report = run_report(
+        benchmark,
+        lossy_wire_sweep,
+        scale=0.3,
+        machines=8,
+        seed=1,
+        drop_rates=(0.0, 0.01, 0.05),
+    )
+    rows = {row["drop_rate"]: row for row in report.rows}
+    clean = rows["clean"]
+    assert clean["dropped"] == 0 and clean["retransmitted"] == 0
+    for key in ("1%", "5%"):
+        # Every lossy row is fully masked: drops happened, each was covered
+        # by at least one retransmission, and the output count is unchanged.
+        assert rows[key]["dropped"] > 0
+        assert rows[key]["retransmitted"] >= rows[key]["dropped"]
+        assert rows[key]["output_count"] == clean["output_count"]
+    assert rows["5%"]["dropped"] > rows["1%"]["dropped"]

@@ -39,22 +39,38 @@ from repro.api.registry import (
     register_probe_engine,
 )
 from repro.api.session import JoinSession, StreamSnapshot, build_operator
-from repro.engine.faults import FaultSpec, crash, crash_after_events
+from repro.engine.faults import (
+    FaultSpec,
+    NetworkFaultSpec,
+    UnreachableLinkError,
+    crash,
+    crash_after_events,
+    delay,
+    drop,
+    duplicate,
+    partition,
+)
 
 __all__ = [
     "ARRIVAL_PATTERNS",
     "FaultSpec",
     "JoinSession",
+    "NetworkFaultSpec",
     "PredicateKind",
     "Registry",
     "RunConfig",
     "StreamSnapshot",
+    "UnreachableLinkError",
     "batch_controllers",
     "build_operator",
     "crash",
     "crash_after_events",
+    "delay",
+    "drop",
+    "duplicate",
     "executors",
     "operators",
+    "partition",
     "predicate_kinds",
     "probe_engines",
     "register_batch_controller",

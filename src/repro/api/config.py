@@ -32,7 +32,11 @@ import repro.engine.executor  # noqa: F401  (populates the executor registry)
 import repro.joins.local  # noqa: F401  (populates the probe-engine registry)
 from repro.api.registry import LAYOUTS, batch_controllers, executors, probe_engines
 from repro.engine.columns import HAS_NUMPY, NUMPY_HINT
-from repro.engine.faults import FaultSpec, normalize_fault_schedule
+from repro.engine.faults import (
+    FaultSpec,
+    normalize_fault_schedule,
+    normalize_network_faults,
+)
 
 #: Arrival interleavings understood by the stream layer
 #: (see :func:`repro.engine.stream.interleave_streams`).
@@ -125,6 +129,24 @@ class RunConfig:
             shutdown) before declaring the run wedged and raising; ``None``
             (the default) uses the executor's generous built-in bound.
             Rejected for non-parallel executors.
+        network_faults: deterministic wire-level faults to inject — a
+            sequence of :class:`~repro.engine.faults.NetworkFaultSpec`
+            entries (build them with :func:`~repro.engine.faults.drop` /
+            :func:`~repro.engine.faults.duplicate` /
+            :func:`~repro.engine.faults.delay` /
+            :func:`~repro.engine.faults.partition`); plain dicts are accepted
+            for the JSON round trip.  Empty (default) = the ideal wire, with
+            every run bit-identical to a build without the wire plane.  A
+            non-empty schedule installs the reliable-delivery sublayer
+            (per-link sequence numbers, dedup, in-order release, retransmit
+            timers) that masks the faults: the run's final output multiset is
+            identical to the fault-free twin's.  Requires the non-blocking
+            protocol (``blocking=False``); composes with ``fault_schedule``.
+        retry_base: virtual-time backoff of the reliable wire's first
+            retransmit of a lost frame; subsequent attempts double it.
+        retry_max_attempts: retransmissions of one frame the reliable wire
+            spends before declaring the link dead with
+            :class:`~repro.engine.faults.UnreachableLinkError` (never a hang).
     """
 
     machines: int = 16
@@ -149,6 +171,9 @@ class RunConfig:
     executor: str = "simulated"
     num_workers: int | None = None
     worker_timeout: float | None = None
+    network_faults: tuple = ()
+    retry_base: float = 0.5
+    retry_max_attempts: int = 10
 
     # ------------------------------------------------------------- validation
 
@@ -175,6 +200,8 @@ class RunConfig:
             ("executor", self.executor, str, False),
             ("num_workers", self.num_workers, int, True),
             ("worker_timeout", self.worker_timeout, (int, float), True),
+            ("retry_base", self.retry_base, (int, float), False),
+            ("retry_max_attempts", self.retry_max_attempts, int, False),
         )
         for name, value, types, optional in expectations:
             if optional and value is None:
@@ -189,9 +216,58 @@ class RunConfig:
                     f"of type {expected}, got {value!r}"
                 )
 
+    def _check_fault_overlaps(self) -> None:
+        """Reject statically-provable overlapping crash windows eagerly.
+
+        A machine must be back up before its next crash fires.  For
+        time-anchored faults the outage window is known at construction —
+        ``[at_time, at_time + (restart_after or ack_timeout))`` — so two
+        overlapping windows on one machine can be rejected here, listing the
+        conflicting specs, instead of deep in the simulator mid-run.  Two
+        event-anchored faults with the *same* anchor provably collide too
+        (the first crash fires both).  Mixed or distinct event anchors depend
+        on the run's virtual timeline and stay a runtime error.
+        """
+        by_machine: dict[int, list[FaultSpec]] = {}
+        for fault in self.fault_schedule:
+            by_machine.setdefault(fault.machine, []).append(fault)
+        for faults in by_machine.values():
+            anchors: dict[int, FaultSpec] = {}
+            for fault in faults:
+                if fault.after_events is None:
+                    continue
+                other = anchors.get(fault.after_events)
+                if other is not None:
+                    raise ValueError(
+                        "overlapping fault_schedule entries: "
+                        f"{other!r} and {fault!r} crash machine "
+                        f"{fault.machine} at the same event anchor"
+                    )
+                anchors[fault.after_events] = fault
+            timed = sorted(
+                (fault for fault in faults if fault.at_time is not None),
+                key=lambda fault: fault.at_time,
+            )
+            for earlier, later in zip(timed, timed[1:]):
+                restart = earlier.at_time + (
+                    earlier.restart_after
+                    if earlier.restart_after is not None
+                    else self.ack_timeout
+                )
+                if later.at_time < restart:
+                    raise ValueError(
+                        "overlapping fault_schedule entries: "
+                        f"{earlier!r} (down until t={restart}) and "
+                        f"{later!r} crash machine {later.machine} "
+                        "while it is already down"
+                    )
+
     def __post_init__(self) -> None:
         object.__setattr__(
             self, "fault_schedule", normalize_fault_schedule(self.fault_schedule)
+        )
+        object.__setattr__(
+            self, "network_faults", normalize_network_faults(self.network_faults)
         )
         self._check_types()
         if self.machines < 1:
@@ -267,6 +343,26 @@ class RunConfig:
                     f"fault_schedule machine {fault.machine} out of range; "
                     f"choices: 0..{self.machines - 1} (machines={self.machines})"
                 )
+        self._check_fault_overlaps()
+        for spec in self.network_faults:
+            for machine in spec.machines():
+                if machine >= self.machines:
+                    raise ValueError(
+                        f"network_faults machine {machine} out of range in "
+                        f"{spec!r}; choices: 0..{self.machines - 1} "
+                        f"(machines={self.machines})"
+                    )
+        if self.network_faults and self.blocking:
+            raise ValueError(
+                "network fault injection requires the non-blocking migration "
+                "protocol (blocking=False), like fault_schedule"
+            )
+        if self.retry_base <= 0:
+            raise ValueError(f"retry_base must be > 0, got {self.retry_base}")
+        if self.retry_max_attempts < 1:
+            raise ValueError(
+                f"retry_max_attempts must be >= 1, got {self.retry_max_attempts}"
+            )
         if self.fault_schedule and self.blocking:
             raise ValueError(
                 "fault injection requires the non-blocking migration protocol "

@@ -45,6 +45,7 @@ DRIVERS: dict[str, Callable[..., experiments.ExperimentReport]] = {
     "ablation-migration": experiments.ablation_migration_strategy,
     "ablation-blocking": experiments.ablation_blocking,
     "recovery": experiments.recovery_sweep,
+    "lossy-wire": experiments.lossy_wire_sweep,
 }
 
 

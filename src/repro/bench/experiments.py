@@ -16,7 +16,7 @@ import random
 import time
 from dataclasses import dataclass, field
 
-from repro.api import JoinSession, RunConfig, crash_after_events
+from repro.api import JoinSession, RunConfig, crash_after_events, drop
 from repro.bench.harness import ExperimentConfig, build_query, run_single
 from repro.bench.report import format_series, format_table
 from repro.core.decision import competitive_ratio_bound
@@ -713,3 +713,89 @@ def recovery_sweep(
         ),
     )
     return ExperimentReport(name="recovery_sweep", rows=rows, text=text)
+
+
+# ---------------------------------------------------------------------------
+# Unreliable wire — drop rate vs retransmit overhead
+# ---------------------------------------------------------------------------
+
+def _uniform_drop_schedule(
+    machines: int, rate: float, seed: int, horizon: int = 400
+) -> tuple:
+    """A deterministic stand-in for a uniform loss rate: an independently
+    seeded Bernoulli(``rate``) coin per (directed link, nth) pair, out to
+    ``horizon`` frames per link.  Specs whose ``nth`` exceeds a link's actual
+    traffic are no-ops, so the horizon only needs to cover the busiest
+    link."""
+    if rate <= 0.0:
+        return ()
+    rng = random.Random(f"lossy-wire:{seed}:{rate}")
+    return tuple(
+        drop((sender, receiver), nth)
+        for sender in range(machines)
+        for receiver in range(machines)
+        if sender != receiver
+        for nth in range(1, horizon + 1)
+        if rng.random() < rate
+    )
+
+
+def lossy_wire_sweep(
+    scale: float = 0.3,
+    machines: int = 8,
+    seed: int = 1,
+    drop_rates: tuple[float, ...] = (0.0, 0.01, 0.05),
+) -> ExperimentReport:
+    """Completion time and retransmit overhead under uniform frame loss.
+
+    Sweeps deterministic drop schedules approximating 0/1/5 % loss on every
+    link.  The reliable-delivery sublayer must mask every schedule — the
+    output count is asserted equal to the clean wire's on every row — while
+    the retransmit counters and the execution-time slowdown quantify what the
+    masking costs.
+    """
+    config = ExperimentConfig(machines=machines, scale=scale, skew="Z0", seed=seed)
+    query = build_query("EQ5", config)
+    rows = []
+    baseline = None
+    for rate in drop_rates:
+        # Per-tuple batching: one frame per tuple keeps per-link sequence
+        # numbers dense enough for the stride schedule to approximate the
+        # target loss rate.
+        run_config = RunConfig(
+            machines=machines,
+            seed=seed,
+            batch_size=1,
+            network_faults=_uniform_drop_schedule(machines, rate, seed),
+        )
+        result = JoinSession(query, config=run_config).run()
+        if baseline is None:
+            baseline = result
+        elif result.output_count != baseline.output_count:
+            raise AssertionError(
+                f"drop rate {rate} changed the output count "
+                f"({result.output_count} != {baseline.output_count})"
+            )
+        sent = (result.wire_counters or {}).get("sent", 0)
+        rows.append(
+            {
+                "drop_rate": f"{rate:.0%}" if rate else "clean",
+                "dropped": result.messages_dropped,
+                "retransmitted": result.messages_retransmitted,
+                "retransmit_pct": (
+                    round(100.0 * result.messages_retransmitted / sent, 2)
+                    if sent
+                    else 0.0
+                ),
+                "execution_time": round(result.execution_time, 1),
+                "slowdown": round(
+                    result.execution_time / baseline.execution_time, 3
+                ),
+                "output_count": result.output_count,
+            }
+        )
+    text = format_table(
+        rows,
+        title=f"Lossy wire sweep — EQ5@Z0, {machines} joiners, uniform drop rates",
+    )
+    return ExperimentReport(name="lossy_wire_sweep", rows=rows, text=text)

@@ -28,6 +28,7 @@ from repro.core.results import RunResult
 from repro.core.tasks import HashReshufflerTask, JoinerTask, ReshufflerTask, Topology
 from repro.data.queries import JoinQuery
 from repro.engine.machine import CostModel
+from repro.engine.network import ReliableWire
 from repro.engine.simulator import Simulator
 from repro.engine.stream import ArrivalSchedule, StreamTuple, interleave_streams, make_tuples
 from repro.storage.checkpoint_store import CheckpointStore
@@ -291,6 +292,14 @@ class GridJoinOperator:
             )
             manager.attach_journals(simulator)
             simulator.install_faults(manager)
+        if self.config.network_faults:
+            simulator.install_network_faults(
+                ReliableWire(
+                    faults=self.config.network_faults,
+                    retry_base=self.config.retry_base,
+                    retry_max_attempts=self.config.retry_max_attempts,
+                )
+            )
         return simulator, topology
 
     #: Pre-executor-plane name of :meth:`build_execution`, kept as an alias
@@ -367,6 +376,7 @@ class GridJoinOperator:
             tuples_replayed = recovery.tuples_replayed
             checkpoint_overhead = float(recovery.store.bytes_written)
             recovery.store.close()
+        wire = getattr(simulator, "_wire", None)
         return RunResult(
             operator=self.operator_name,
             query=self.query.name,
@@ -434,6 +444,16 @@ class GridJoinOperator:
             recovery_time=recovery_time,
             tuples_replayed=tuples_replayed,
             checkpoint_overhead=checkpoint_overhead,
+            messages_dropped=wire.frames_dropped if wire is not None else 0,
+            messages_duplicated=wire.frames_duplicated if wire is not None else 0,
+            messages_retransmitted=(
+                wire.frames_retransmitted if wire is not None else 0
+            ),
+            messages_reordered=wire.frames_reordered if wire is not None else 0,
+            retransmit_histogram=(
+                dict(wire.retransmit_histogram) if wire is not None else None
+            ),
+            wire_counters=wire.counters() if wire is not None else None,
         )
 
 

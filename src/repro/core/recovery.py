@@ -39,6 +39,17 @@ journal from worker threads (the checkpoint store hands each thread its own
 SQLite connection behind one store-wide lock), faults are barriers on the
 dispatch frontier, and a crashed threaded run is bit-identical to the
 crashed oracle (``tests/test_threads_recovery.py``).
+
+Composition with the unreliable wire (``RunConfig.network_faults``): the
+reliable-delivery sublayer dedups *below* the task layer — a message is
+released to a task at most once, however many times the wire duplicated or
+retransmitted it — and its per-link sequencer state is durable across the
+receiver's crashes (it is simulator state, not machine state).  A
+retransmitted-then-crashed message is therefore either discarded by wire
+dedup (an earlier copy was already released) or redelivered exactly once
+from the outage buffer; journal replay then restores the applied state
+without re-running the wire, so the exactly-once argument above composes
+unchanged.
 """
 
 from __future__ import annotations

@@ -92,6 +92,25 @@ class RunResult:
             during restores (the delta-log length recovery paid for).
         checkpoint_overhead: bytes written to the durable checkpoint store
             (snapshots + delta journal) over the run.
+        messages_dropped: link-layer frames the unreliable wire lost (drop
+            specs, partition windows, and lost retransmit attempts).  0 with
+            ``network_faults=()`` — all four counters and both dicts below
+            come from the reliable-delivery sublayer, installed only when a
+            network fault schedule is present.
+        messages_duplicated: frames the wire delivered twice (the copies are
+            discarded by receiver-side dedup).
+        messages_retransmitted: retransmit attempts the reliable-delivery
+            sublayer sent for lost frames.
+        messages_reordered: frames that arrived ahead of a gap and waited in
+            the receiver's in-order release buffer.
+        retransmit_histogram: attempt number → count of retransmits sent on
+            that attempt (the backoff depth profile), next to
+            ``wire_histogram``; None without network faults.
+        wire_counters: the full reliable-wire counter set as a plain dict
+            (sent/delivered/dropped/duplicated/retransmitted/reordered/
+            deduped/applied), reconciling as ``sent == delivered + dropped``
+            and ``applied == delivered - deduped``; None without network
+            faults.
     """
 
     operator: str
@@ -138,6 +157,12 @@ class RunResult:
     recovery_time: float = 0.0
     tuples_replayed: int = 0
     checkpoint_overhead: float = 0.0
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_retransmitted: int = 0
+    messages_reordered: int = 0
+    retransmit_histogram: dict[int, int] | None = None
+    wire_counters: dict[str, int] | None = None
 
     def summary_row(self) -> dict[str, float | int | str | bool]:
         """Flat dictionary used by the benchmark reports."""

@@ -618,7 +618,11 @@ class JoinerTask(Task):
 
     #: Recovery journal (fault-tolerant plane only; see repro.core.recovery).
     #: Every state-mutating input — data/µ tuples, signals, end markers,
-    #: finalizes — is journaled as one replayable delta.
+    #: finalizes — is journaled as one replayable delta.  Under the
+    #: unreliable wire (RunConfig.network_faults) the reliable-delivery
+    #: sublayer dedups duplicated/retransmitted frames *before* they reach
+    #: handle(), so each logical message is journaled at most once and
+    #: replay stays exactly-once without any task-level dedup.
     _journal = None
 
     # -------------------------------------------------------------- handling

@@ -77,10 +77,13 @@ Serialisation points (everything else overlaps):
   event order matches the oracle exactly.
 * **Barriers** — events whose processing reads or writes *global* state run
   with the window fully committed: priority control-plane deliveries,
-  off-cluster handlers, fault-plane events, and handlers of tasks that set
-  :attr:`~repro.engine.task.Task.reads_global_state` (the migration
-  controller, which samples run-wide metrics and cluster peak storage
-  mid-handler).
+  off-cluster handlers, fault-plane events (which includes the unreliable
+  wire's frame arrivals and retransmit timers — they ride the fault rank
+  band, so a frame release respects the commit frontier and its dedup /
+  in-order bookkeeping never races an in-flight handler), and handlers of
+  tasks that set :attr:`~repro.engine.task.Task.reads_global_state` (the
+  migration controller, which samples run-wide metrics and cluster peak
+  storage mid-handler).
 * **Drained runs flush before dispatch** — a drained run's control-plane
   horizon (:meth:`Simulator._drain_horizon`) reads the in-flight priority
   deliveries of its machine, and an uncommitted older handler's

@@ -33,6 +33,7 @@ from bisect import bisect_left, bisect_right
 from collections import deque
 from typing import Iterable
 
+from repro.engine.faults import UnreachableLinkError
 from repro.engine.machine import CostModel, Machine
 from repro.engine.metrics import MetricsCollector
 from repro.engine.network import Network, TrafficCategory
@@ -75,9 +76,13 @@ _MACHINE_SPAN = 1 << 12  # > max machines + off-cluster sentinel
 # boundaries, see repro.engine.faults).  Within the band, restarts order
 # before retries — a retry popping at the restart instant must see the
 # machine alive — and a per-simulator serial breaks remaining ties so heap
-# entries never compare the _FaultEvent payloads themselves.
+# entries never compare the _FaultEvent payloads themselves.  The unreliable
+# wire's frame arrivals and retransmit timers ride the same band (offsets 3
+# and 4): they too land between handler events, and on the threaded executor
+# they inherit the fault plane's full-barrier treatment on the dispatch
+# frontier for free.
 _FAULT_RANK_BASE = 1 << 63
-_FAULT_ACTION_OFFSETS = {"crash": 0, "restart": 1, "retry": 2}
+_FAULT_ACTION_OFFSETS = {"crash": 0, "restart": 1, "retry": 2, "frame": 3, "retransmit": 4}
 
 #: Heap marker distinguishing a DeliveryRun event from a plain delivery
 #: (``message`` slot) — identity-checked once per pop, like the tick's None.
@@ -141,7 +146,9 @@ class _FaultEvent:
     """Heap payload of one fault-plane action targeting a machine id.
 
     ``action`` is ``"crash"`` (carries the originating
-    :class:`~repro.engine.faults.FaultSpec`), ``"restart"`` or ``"retry"``.
+    :class:`~repro.engine.faults.FaultSpec`), ``"restart"`` or ``"retry"``
+    for the crash plane, or ``"frame"`` / ``"retransmit"`` (carrying a
+    :class:`_WireFrame`) for the unreliable-wire plane.
     """
 
     __slots__ = ("action", "fault")
@@ -149,6 +156,31 @@ class _FaultEvent:
     def __init__(self, action: str, fault=None) -> None:
         self.action = action
         self.fault = fault
+
+
+class _WireFrame:
+    """One link-layer frame: a message instance in flight on the unreliable wire.
+
+    The reliable-delivery sublayer never mutates the wrapped message (data
+    envelopes are shared across fan-out destinations), so the per-link
+    sequence number, original send rank and retransmit state live on this
+    wrapper instead.  ``rank`` is the send-band rank the message was assigned
+    at its original send — the receiver releases with it, so crashed-machine
+    diversion and pending-heap ordering behave exactly as a direct delivery
+    would have.
+    """
+
+    __slots__ = ("link", "seq", "task", "message", "category", "rank", "units", "attempts")
+
+    def __init__(self, link, seq, task, message, category, rank, units) -> None:
+        self.link = link
+        self.seq = seq
+        self.task = task
+        self.message = message
+        self.category = category
+        self.rank = rank
+        self.units = units
+        self.attempts = 0
 
 
 class Simulator:
@@ -233,6 +265,11 @@ class Simulator:
         self._retry_attempts: dict[int, int] = {}
         self._after_event_faults: list = []
         self._fault_serial = itertools.count()
+        # Unreliable-wire plane (install_network_faults): the ReliableWire
+        # policy object, or None.  Every wire hook below is strictly gated on
+        # it, so fault-free runs take the exact pre-existing code paths —
+        # zero extra heap events, allocations or counter touches.
+        self._wire = None
         self.now = 0.0
         self.events_processed = 0
         self.heap_events = 0
@@ -291,6 +328,18 @@ class Simulator:
                 after.append((fault.after_events, fault))
         after.sort(key=lambda pair: pair[0])
         self._after_event_faults = after
+
+    def install_network_faults(self, wire) -> None:
+        """Attach the unreliable-wire plane: a :class:`~repro.engine.network.ReliableWire`.
+
+        Every on-cluster task send is then framed with a per-link sequence
+        number and routed through the wire's fault schedule (drop, duplicate,
+        delay, partition) before the receiver's dedup/in-order sublayer
+        releases it to the normal delivery path.  Frame arrivals and
+        retransmit timers are heap events in the fault rank band, so the
+        faulty run stays fully deterministic under its seed.
+        """
+        self._wire = wire
 
     # ------------------------------------------------------------------ setup
 
@@ -489,6 +538,13 @@ class Simulator:
         dest_task = self.tasks[destination]
         sender_machine = sender_task.machine_id
         dest_machine = dest_task.machine_id
+        if self._wire is not None and sender_machine >= 0 and dest_machine >= 0:
+            # Unreliable wire installed: on-cluster sends become link-layer
+            # frames (off-cluster endpoints — sources, collectors — keep the
+            # ideal wire: they model ingest/egress, not the cluster fabric).
+            units = len(message.payload) if isinstance(message.payload, TupleBatch) else 1
+            self._wire_send(sender_machine, dest_task, message, category, departure, units)
+            return
         if sender_machine < 0 or dest_machine < 0:
             delivery = departure + self.cost_model.network_latency
         else:
@@ -555,6 +611,25 @@ class Simulator:
         latency = self.cost_model.network_latency
         sender_base = _SEND_RANK_BASE + (sender_machine + 2) * _MACHINE_SPAN * _LINK_SPAN
         heappush = heapq.heappush
+        if self._wire is not None:
+            # Unreliable wire installed: each on-cluster replica becomes its
+            # own link-layer frame (fan-out is data plane, single-tuple,
+            # non-priority); off-cluster replicas keep the ideal wire.
+            for destination in destinations:
+                dest_task = tasks[destination]
+                dest_machine = dest_task.machine_id
+                if sender_machine < 0 or dest_machine < 0:
+                    heappush(queue, (
+                        departure + latency,
+                        self._send_rank(sender_machine, dest_machine),
+                        dest_task,
+                        message,
+                    ))
+                else:
+                    self._wire_send(
+                        sender_machine, dest_task, message, category, departure, 1
+                    )
+            return
         if self._merge_wire:
             # One shared envelope, one open-channel append per destination;
             # the per-link delivery times and ranks are computed exactly as
@@ -684,10 +759,15 @@ class Simulator:
         )
 
     def _process_fault(self, machine_id: int, event: _FaultEvent, time: float) -> None:
-        if event.action == "crash":
+        action = event.action
+        if action == "crash":
             self._crash_machine(machine_id, event.fault, time)
-        elif event.action == "restart":
+        elif action == "restart":
             self._restart_machine(machine_id, time)
+        elif action == "frame":
+            self._wire_arrive(event.fault, time)
+        elif action == "retransmit":
+            self._wire_retransmit(event.fault, time)
         else:
             self._retry_machine(machine_id, time)
 
@@ -794,6 +874,148 @@ class Simulator:
             )
         else:
             self._outage[machine_id].append(("d", task, message))
+
+    # -------------------------------------------------------- unreliable wire
+
+    def _wire_send(
+        self,
+        sender_machine: int,
+        dest_task: Task,
+        message: Message,
+        category: TrafficCategory,
+        departure: float,
+        units: int,
+    ) -> None:
+        """Frame one on-cluster send and push it through the fault schedule.
+
+        The frame gets the link's next monotone sequence number and the
+        message's normal send-band rank (so its eventual release orders like
+        a direct delivery).  A dropped or partitioned frame never charges the
+        network — its bytes were lost before crossing — and instead arms the
+        sender's retransmit timer.  A duplicated frame is charged and
+        scheduled twice with the *same* frame object: the receiver dedups on
+        the shared sequence number.
+        """
+        wire = self._wire
+        dest_machine = dest_task.machine_id
+        link = (sender_machine, dest_machine)
+        seq, dropped, duplicated, delay_by = wire.on_send(link)
+        rank = self._send_rank(sender_machine, dest_machine)
+        frame = _WireFrame(link, seq, dest_task, message, category, rank, units)
+        wire.frames_sent += 1
+        if dropped or wire.partitioned(sender_machine, dest_machine, departure):
+            wire.frames_dropped += 1
+            self._wire_arm_retransmit(frame, departure)
+            return
+        arrival = self.network.transfer(
+            sender_machine, dest_machine, message.size, category, departure, units=units
+        )
+        # The per-send delay is added *after* the link's FIFO clamp, so later
+        # sends can genuinely overtake the delayed frame on the wire; the
+        # receiver's in-order sublayer restores release order.
+        self._schedule_fault(arrival + delay_by, "frame", dest_machine, frame)
+        if duplicated:
+            wire.frames_sent += 1
+            wire.frames_duplicated += 1
+            dup_arrival = self.network.transfer(
+                sender_machine, dest_machine, message.size, category, departure, units=units
+            )
+            # Same frame object = same sequence number: the copy that loses
+            # the race (the fault serial orders the original first at equal
+            # times) is discarded by the receiver's dedup.
+            self._schedule_fault(dup_arrival + delay_by, "frame", dest_machine, frame)
+
+    def _wire_arm_retransmit(self, frame: _WireFrame, now: float) -> None:
+        """Arm the sender's retransmit timer for a lost frame.
+
+        Exponential backoff from ``retry_base``; once ``retry_max_attempts``
+        transmissions have been lost the link is declared dead with a named
+        error — the faulty run terminates either way, never hangs.  Timers
+        are armed only for frames known lost (a deterministic-simulation
+        shortcut: behaviourally equivalent to per-frame ack timeouts without
+        modelling the ack traffic).
+        """
+        wire = self._wire
+        if frame.attempts >= wire.retry_max_attempts:
+            raise UnreachableLinkError(frame.link, frame.attempts)
+        frame.attempts += 1
+        backoff = wire.retry_base * (2 ** (frame.attempts - 1))
+        self._schedule_fault(now + backoff, "retransmit", frame.link[1], frame)
+
+    def _wire_retransmit(self, frame: _WireFrame, time: float) -> None:
+        """A retransmit timer fired: resend the frame unless it got through."""
+        wire = self._wire
+        link = frame.link
+        if frame.seq < wire.recv_next.get(link, 0) or frame.seq in wire.reorder.get(
+            link, ()
+        ):
+            return  # a copy already reached the receiver; the timer dissolves
+        wire.frames_sent += 1
+        wire.frames_retransmitted += 1
+        wire.retransmit_histogram[frame.attempts] = (
+            wire.retransmit_histogram.get(frame.attempts, 0) + 1
+        )
+        if wire.partitioned(link[0], link[1], time):
+            # Still dark: this attempt is lost too.  Re-arming chains the
+            # backoff until the window heals or the budget raises.
+            wire.frames_dropped += 1
+            self._wire_arm_retransmit(frame, time)
+            return
+        arrival = self.network.transfer(
+            link[0], link[1], frame.message.size, frame.category, time, units=frame.units
+        )
+        self._schedule_fault(arrival, "frame", link[1], frame)
+
+    def _wire_arrive(self, frame: _WireFrame, time: float) -> None:
+        """A frame reached its receiver: dedup, reorder-buffer or release.
+
+        Release is strictly in sequence order per link — equal to send order,
+        so the fault-free wire's per-link FIFO (which the epoch protocol
+        relies on) is preserved under any fault mix.  Dedup state is *not*
+        reset when the receiving machine crashes: the sequencer is durable
+        (MillWheel-style), so a retransmitted-then-crashed message is either
+        discarded here or redelivered exactly once from the outage buffer.
+        """
+        wire = self._wire
+        link = frame.link
+        wire.frames_delivered += 1
+        expected = wire.recv_next.get(link, 0)
+        if frame.seq < expected:
+            wire.frames_deduped += 1
+            return
+        if frame.seq > expected:
+            buffer = wire.reorder.setdefault(link, {})
+            if frame.seq in buffer:
+                wire.frames_deduped += 1
+            else:
+                wire.frames_reordered += 1
+                buffer[frame.seq] = frame
+            return
+        next_seq = expected + 1
+        wire.recv_next[link] = next_seq
+        self._wire_release(frame, time)
+        buffer = wire.reorder.get(link)
+        if buffer:
+            # Cascade: the gap just closed may free buffered successors.
+            while next_seq in buffer:
+                follower = buffer.pop(next_seq)
+                next_seq += 1
+                wire.recv_next[link] = next_seq
+                self._wire_release(follower, time)
+
+    def _wire_release(self, frame: _WireFrame, time: float) -> None:
+        """Hand a frame to the normal delivery path, in sequence order.
+
+        Priority-kind bookkeeping is done here (not at send) because only
+        now is the effective delivery instant known; ``_deliver`` and
+        ``_divert_crashed`` remove the same ``time`` they always have.
+        """
+        wire = self._wire
+        wire.frames_applied += 1
+        message = frame.message
+        if message.kind in PRIORITY_KINDS:
+            self._pending_priority[frame.link[1]].append(time)
+        self._deliver(frame.task, message, time, frame.rank)
 
     def _deliver(self, task: Task, message: Message, time: float, rank: int = 0) -> None:
         machine = task.hosted_machine

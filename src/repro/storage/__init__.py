@@ -13,8 +13,13 @@ This package provides the equivalent:
   behind the fault-tolerant join plane (see ``repro.core.recovery``).
 """
 
-from repro.storage.checkpoint_store import CheckpointStore
+from repro.storage.checkpoint_store import CheckpointCorruptionError, CheckpointStore
 from repro.storage.memory_store import MemoryStore
 from repro.storage.spill_store import SpillStore
 
-__all__ = ["CheckpointStore", "MemoryStore", "SpillStore"]
+__all__ = [
+    "CheckpointCorruptionError",
+    "CheckpointStore",
+    "MemoryStore",
+    "SpillStore",
+]

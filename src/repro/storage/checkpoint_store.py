@@ -29,6 +29,15 @@ nor the rng, so a fault-free run with checkpointing enabled is bit-identical
 to the same run without it (pinned in ``tests/test_fault_recovery.py``).
 The I/O cost is surfaced instead as ``RunResult.checkpoint_overhead`` (bytes
 written), which the recovery benchmark charts against the interval.
+
+Integrity model: every snapshot and delta row carries a CRC-32 of its
+payload, verified on :meth:`load`.  The store retains the newest *two*
+snapshots per task (plus the deltas back to the older one), so a torn or
+corrupt newest snapshot recovers from the previous intact one with a longer
+replay instead of deserialising garbage.  A corrupt delta at the journal
+tail is treated as a torn write and truncated (nothing after it was applied
+durably); a corrupt delta *followed by intact rows* — or no intact snapshot
+at all — cannot be masked and raises :class:`CheckpointCorruptionError`.
 """
 
 from __future__ import annotations
@@ -38,7 +47,22 @@ import pickle
 import sqlite3
 import tempfile
 import threading
+import zlib
 from typing import Any
+
+
+class CheckpointCorruptionError(RuntimeError):
+    """No intact checkpoint state remains for a task.
+
+    Raised by :meth:`CheckpointStore.load` when every stored snapshot of a
+    task fails its checksum, or when a delta row *inside* the replay chain
+    (i.e. with intact rows after it) is corrupt — either way the journal
+    cannot reconstruct a consistent state and recovery must fail loudly.
+    """
+
+    def __init__(self, task: str, reason: str) -> None:
+        self.task = task
+        super().__init__(f"checkpoint state for task {task!r} is corrupt: {reason}")
 
 
 class CheckpointStore:
@@ -69,15 +93,16 @@ class CheckpointStore:
         conn = self._connection()
         conn.execute(
             "CREATE TABLE IF NOT EXISTS snapshots ("
-            " task TEXT PRIMARY KEY, seq INTEGER NOT NULL, payload BLOB NOT NULL)"
+            " task TEXT NOT NULL, seq INTEGER NOT NULL, payload BLOB NOT NULL,"
+            " checksum INTEGER NOT NULL, PRIMARY KEY (task, seq))"
         )
         conn.execute(
             "CREATE TABLE IF NOT EXISTS deltas ("
             " task TEXT NOT NULL, seq INTEGER NOT NULL, payload BLOB NOT NULL,"
-            " PRIMARY KEY (task, seq))"
+            " checksum INTEGER NOT NULL, PRIMARY KEY (task, seq))"
         )
         conn.commit()
-        self._buffers: dict[str, list[tuple[str, int, bytes]]] = {}
+        self._buffers: dict[str, list[tuple[str, int, bytes, int]]] = {}
         self._next_seq: dict[str, int] = {}
         self._since_snapshot: dict[str, int] = {}
         self.bytes_written = 0
@@ -117,7 +142,7 @@ class CheckpointStore:
             seq = self._next_seq.get(task, 0)
             self._next_seq[task] = seq + 1
             buffer = self._buffers.setdefault(task, [])
-            buffer.append((task, seq, payload))
+            buffer.append((task, seq, payload, zlib.crc32(payload)))
             if len(buffer) >= self.flush_every:
                 self._flush_task_locked(task)
             self.bytes_written += len(payload)
@@ -127,16 +152,34 @@ class CheckpointStore:
             return count
 
     def snapshot(self, task: str, state: Any) -> None:
-        """Write a full state snapshot for ``task`` and truncate its deltas."""
+        """Write a full state snapshot for ``task`` and prune its journal.
+
+        The newest two snapshots are retained (with the deltas back to the
+        older one) so a corrupt newest snapshot can fall back to the previous
+        intact one; everything older is pruned.  Buffered deltas are flushed
+        first — they are the fallback's replay tail, no longer superseded
+        garbage.
+        """
         payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
-            self._buffers.pop(task, None)  # superseded, never flushed
+            self._flush_task_locked(task)
             seq = self._next_seq.get(task, 0)
             conn = self._connection()
-            conn.execute("DELETE FROM deltas WHERE task = ?", (task,))
             conn.execute(
-                "INSERT OR REPLACE INTO snapshots (task, seq, payload) VALUES (?, ?, ?)",
-                (task, seq, payload),
+                "INSERT OR REPLACE INTO snapshots (task, seq, payload, checksum)"
+                " VALUES (?, ?, ?, ?)",
+                (task, seq, payload, zlib.crc32(payload)),
+            )
+            conn.execute(
+                "DELETE FROM snapshots WHERE task = ? AND seq NOT IN ("
+                " SELECT seq FROM snapshots WHERE task = ?"
+                " ORDER BY seq DESC LIMIT 2)",
+                (task, task),
+            )
+            conn.execute(
+                "DELETE FROM deltas WHERE task = ? AND seq < ("
+                " SELECT MIN(seq) FROM snapshots WHERE task = ?)",
+                (task, task),
             )
             conn.commit()
             self.bytes_written += len(payload)
@@ -151,20 +194,67 @@ class CheckpointStore:
     # --------------------------------------------------------------- recovery
 
     def load(self, task: str) -> tuple[Any, list[Any]]:
-        """The last snapshot (or None) and post-snapshot deltas of ``task``."""
+        """The last *intact* snapshot (or None) and its post-snapshot deltas.
+
+        Every row is checksum-verified.  A corrupt newest snapshot falls back
+        to the previous intact one (replaying a longer delta tail); a corrupt
+        delta at the journal tail is truncated as a torn write; corruption
+        that cannot be masked — no intact snapshot left, or a corrupt delta
+        with intact rows after it — raises :class:`CheckpointCorruptionError`.
+        """
         with self._lock:
             self._flush_task_locked(task)
             conn = self._connection()
-            row = conn.execute(
-                "SELECT payload FROM snapshots WHERE task = ?", (task,)
-            ).fetchone()
-            snapshot = pickle.loads(row[0]) if row is not None else None
-            deltas = [
-                pickle.loads(payload)
-                for (payload,) in conn.execute(
-                    "SELECT payload FROM deltas WHERE task = ? ORDER BY seq", (task,)
-                )
-            ]
+            snapshot = None
+            snapshot_seq = 0
+            snapshot_rows = conn.execute(
+                "SELECT seq, payload, checksum FROM snapshots WHERE task = ?"
+                " ORDER BY seq DESC",
+                (task,),
+            ).fetchall()
+            for seq, payload, checksum in snapshot_rows:
+                if zlib.crc32(payload) != checksum:
+                    continue
+                try:
+                    snapshot = pickle.loads(payload)
+                except Exception:
+                    continue
+                snapshot_seq = seq
+                break
+            else:
+                if snapshot_rows:
+                    raise CheckpointCorruptionError(
+                        task, f"all {len(snapshot_rows)} stored snapshot(s) failed "
+                        "their checksum"
+                    )
+            delta_rows = conn.execute(
+                "SELECT seq, payload, checksum FROM deltas WHERE task = ?"
+                " AND seq >= ? ORDER BY seq",
+                (task, snapshot_seq),
+            ).fetchall()
+            deltas = []
+            for index, (seq, payload, checksum) in enumerate(delta_rows):
+                intact = zlib.crc32(payload) == checksum
+                if intact:
+                    try:
+                        deltas.append(pickle.loads(payload))
+                        continue
+                    except Exception:
+                        intact = False
+                if not intact:
+                    tail = delta_rows[index + 1:]
+                    if any(
+                        zlib.crc32(later_payload) == later_checksum
+                        for _seq, later_payload, later_checksum in tail
+                    ):
+                        raise CheckpointCorruptionError(
+                            task,
+                            f"delta seq {seq} failed its checksum with intact "
+                            "entries after it (not a torn tail)",
+                        )
+                    # Torn tail: the corrupt row and everything after it were
+                    # never durably applied; replay stops here.
+                    break
             return snapshot, deltas
 
     # --------------------------------------------------------------- plumbing
@@ -175,7 +265,9 @@ class CheckpointStore:
         if buffer:
             conn = self._connection()
             conn.executemany(
-                "INSERT INTO deltas (task, seq, payload) VALUES (?, ?, ?)", buffer
+                "INSERT INTO deltas (task, seq, payload, checksum)"
+                " VALUES (?, ?, ?, ?)",
+                buffer,
             )
             conn.commit()
 

@@ -27,8 +27,22 @@ TIMING_FIELDS = frozenset(
 EVENT_FIELDS = frozenset({"heap_events", "wire_histogram"})
 
 #: Traffic fields the ``network=False`` coarse switch skips as a group.
+#: Includes the reliable-wire degradation counters: two runs under the same
+#: network fault schedule must lose/retransmit/reorder identically (they are
+#: deterministic), while a faulty run compared against its fault-free twin
+#: skips them along with the volumes the retransmits inflate.
 NETWORK_FIELDS = frozenset(
-    {"routing_volume", "migration_volume", "total_network_volume"}
+    {
+        "routing_volume",
+        "migration_volume",
+        "total_network_volume",
+        "messages_dropped",
+        "messages_duplicated",
+        "messages_retransmitted",
+        "messages_reordered",
+        "retransmit_histogram",
+        "wire_counters",
+    }
 )
 
 #: Every field name ``ignore=`` accepts.  The semantic baseline — join
@@ -164,4 +178,40 @@ def assert_run_equivalent(
         result_a.total_network_volume,
         result_b.total_network_volume,
         "total network volume",
+    )
+    check(
+        "messages_dropped",
+        result_a.messages_dropped,
+        result_b.messages_dropped,
+        "messages_dropped",
+    )
+    check(
+        "messages_duplicated",
+        result_a.messages_duplicated,
+        result_b.messages_duplicated,
+        "messages_duplicated",
+    )
+    check(
+        "messages_retransmitted",
+        result_a.messages_retransmitted,
+        result_b.messages_retransmitted,
+        "messages_retransmitted",
+    )
+    check(
+        "messages_reordered",
+        result_a.messages_reordered,
+        result_b.messages_reordered,
+        "messages_reordered",
+    )
+    check(
+        "retransmit_histogram",
+        result_a.retransmit_histogram,
+        result_b.retransmit_histogram,
+        "retransmit_histogram",
+    )
+    check(
+        "wire_counters",
+        result_a.wire_counters,
+        result_b.wire_counters,
+        "wire_counters",
     )
